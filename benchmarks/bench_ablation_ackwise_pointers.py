@@ -1,0 +1,19 @@
+"""Ablation: ACKwise_p pointer-count sensitivity.
+
+The paper fixes p=4 (Table 1).  Fewer pointers overflow earlier and
+broadcast more; this sweep shows the broadcast fraction rising as p drops
+while performance stays within a modest band (ACKwise's design point).
+"""
+
+from repro.experiments.ablations import ackwise_pointer_sweep
+
+
+def test_ablation_ackwise_pointers(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        ackwise_pointer_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("ablation_ackwise_pointers", result.text)
+    for name, per_p in result.data.items():
+        fractions = [per_p[p]["broadcast_fraction"] for p in sorted(per_p)]
+        # Broadcast fraction is non-increasing in the pointer count.
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:])), name

@@ -1,0 +1,18 @@
+"""Ablation: does the adaptive protocol's benefit survive mesh growth?
+
+The paper's premise is that data movement costs grow with core count, so
+the locality-aware protocol should keep (or grow) its advantage from 16 to
+64 tiles.
+"""
+
+from repro.experiments.ablations import core_count_scaling
+
+
+def test_ablation_core_scaling(benchmark, save_result):
+    result = benchmark.pedantic(core_count_scaling, rounds=1, iterations=1)
+    save_result("ablation_core_scaling", result.text)
+    for name, per_n in result.data.items():
+        # The adaptive protocol wins at the paper's 64-core design point.
+        t64, e64 = per_n[64]
+        assert t64 < 1.0, name
+        assert e64 < 1.0, name

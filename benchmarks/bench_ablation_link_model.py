@@ -1,0 +1,20 @@
+"""Ablation: epoch-based vs naive link-bandwidth accounting (DESIGN.md #6).
+
+The naive single next-free-time model lets future-scheduled events (DRAM
+replies) block earlier traffic on idle links; this quantifies the phantom
+congestion that motivated the epoch model.
+"""
+
+from repro.experiments.ablations import link_model_ablation
+
+
+def test_ablation_link_model(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        link_model_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("ablation_link_model", result.text)
+    means = result.data["geomean"]
+    # Contention can only add latency: none <= epoch (within noise), and
+    # the naive model's phantom congestion makes it the slowest.
+    assert means["none"] <= 1.02
+    assert means["naive"] >= means["epoch"]

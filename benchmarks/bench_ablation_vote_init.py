@@ -1,0 +1,15 @@
+"""Ablation: the Section 5.3 remark - Complete classifier with the
+Limited_k learning short-cut (majority-vote initial mode for new sharers).
+"""
+
+from repro.experiments.ablations import vote_init_ablation
+
+
+def test_ablation_vote_init(benchmark, runner, save_result):
+    result = benchmark.pedantic(vote_init_ablation, args=(runner,), rounds=1, iterations=1)
+    save_result("ablation_vote_init", result.text)
+    t, e = result.data["geomean"]
+    # The short-cut must not hurt materially on the paper's named set; the
+    # paper suggests it as a refinement, not a trade-off.
+    assert t < 1.05
+    assert e < 1.05

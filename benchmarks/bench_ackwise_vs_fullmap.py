@@ -1,0 +1,12 @@
+"""Section 5 preamble: baseline ACKwise_4 tracks a full-map directory."""
+
+from repro.experiments.figures import ackwise_vs_fullmap
+
+
+def test_ackwise_vs_fullmap(benchmark, runner, save_result):
+    result = benchmark.pedantic(ackwise_vs_fullmap, args=(runner,), rounds=1, iterations=1)
+    save_result("ackwise_vs_fullmap", result.text)
+    time_ratio, energy_ratio = result.data["geomean"]
+    # Paper: within 1%; allow some slack at reproduction scale.
+    assert abs(time_ratio - 1.0) < 0.03
+    assert abs(energy_ratio - 1.0) < 0.03

@@ -1,0 +1,14 @@
+"""Figure 1: % of invalidated L1 lines by utilization (baseline system)."""
+
+from repro.experiments.figures import figure1_invalidations
+
+
+def test_fig01_invalidations_vs_utilization(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure1_invalidations, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig01_invalidations", result.text)
+    # Motivation claim: a large share of streamcluster invalidations are
+    # low-utilization (the paper reports ~80% below 4 uses).
+    buckets = result.data["streamcluster"]
+    assert buckets["1"] + buckets["2-3"] > 50.0

@@ -1,0 +1,11 @@
+"""Figure 2: % of evicted L1 lines by utilization (baseline system)."""
+
+from repro.experiments.figures import figure2_evictions
+
+
+def test_fig02_evictions_vs_utilization(benchmark, runner, save_result):
+    result = benchmark.pedantic(figure2_evictions, args=(runner,), rounds=1, iterations=1)
+    save_result("fig02_evictions", result.text)
+    # Every benchmark that evicts must have a fully-populated histogram.
+    populated = [name for name, b in result.data.items() if sum(b.values()) > 0]
+    assert len(populated) >= 15

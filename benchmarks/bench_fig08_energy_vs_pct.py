@@ -1,0 +1,14 @@
+"""Figure 8: per-benchmark energy breakdown vs PCT (normalized to PCT=1)."""
+
+from repro.experiments.figures import figure8_energy
+
+
+def test_fig08_energy_vs_pct(benchmark, runner, save_result):
+    result = benchmark.pedantic(figure8_energy, args=(runner,), rounds=1, iterations=1)
+    save_result("fig08_energy", result.text)
+    geomean = result.data["geomean"]
+    # Headline claim: substantial energy reduction at the optimum PCT=4.
+    assert geomean[4] < 0.9
+    # The insensitive anchors stay flat.
+    assert abs(result.data["water-sp"][4]["total"] - 1.0) < 0.1
+    assert abs(result.data["susan"][4]["total"] - 1.0) < 0.1

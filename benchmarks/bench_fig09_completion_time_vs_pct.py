@@ -1,0 +1,15 @@
+"""Figure 9: per-benchmark completion-time breakdown vs PCT."""
+
+from repro.experiments.figures import figure9_completion_time
+
+
+def test_fig09_completion_time_vs_pct(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure9_completion_time, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig09_completion_time", result.text)
+    geomean = result.data["geomean"]
+    # Headline claim: completion time improves at PCT=4 vs the baseline.
+    assert geomean[4] < 0.95
+    # lu-nc degrades past PCT 3 (Section 5.1.2).
+    assert result.data["lu-nc"][8]["total"] > result.data["lu-nc"][3]["total"]

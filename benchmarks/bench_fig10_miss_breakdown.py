@@ -1,0 +1,18 @@
+"""Figure 10: L1-D miss rate and miss-type breakdown vs PCT."""
+
+from repro.experiments.figures import figure10_miss_breakdown
+
+
+def test_fig10_miss_breakdown(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure10_miss_breakdown, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig10_miss_breakdown", result.text)
+    # The baseline has no word misses; the adaptive protocol converts
+    # capacity/sharing misses into them (streamcluster is the flagship).
+    sc = result.data["streamcluster"]
+    assert sc[1]["word"] == 0.0
+    assert sc[4]["word"] > 0.0
+    assert sc[4]["sharing"] < sc[1]["sharing"]
+    # Low-miss anchors stay low at every PCT.
+    assert all(result.data["water-sp"][p]["total"] < 1.0 for p in (1, 2, 3, 4, 6, 8))

@@ -1,0 +1,30 @@
+"""Figure 11: geometric means of completion time and energy vs PCT.
+
+The headline figure: both curves fall from PCT=1, reach their best region
+around PCT=4 and rise again at large PCT (word misses overwhelm the savings).
+"""
+
+from repro.experiments.figures import figure11_geomean_sweep
+
+
+def test_fig11_geomean_pct_sweep(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure11_geomean_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig11_geomean_sweep", result.text)
+    series = result.data["series"]
+    time4, energy4 = series[4]
+    # Paper: -15% completion time and -25% energy at PCT=4; shapes must
+    # show a clear win at 4 (exact magnitudes depend on the substrate).
+    assert time4 < 0.95
+    assert energy4 < 0.85
+    # Completion-time U-shape: the far tail is worse than the optimum.
+    time20, energy20 = series[20]
+    assert time20 > time4
+    # Energy stops improving after the PCT 5-8 plateau (paper: it climbs
+    # again; in this substrate the tail stays flat because remote word
+    # accesses remain comparatively cheap for the synthetic kernels -
+    # documented deviation, see EXPERIMENTS.md).
+    best_energy = min(e for _t, e in series.values())
+    assert energy20 >= best_energy - 0.01
+    assert series[20][0] >= series[8][0] - 0.01  # time keeps degrading

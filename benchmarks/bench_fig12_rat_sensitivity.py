@@ -1,0 +1,19 @@
+"""Figure 12: Remote Access Threshold sensitivity (vs Timestamp scheme)."""
+
+from repro.experiments.figures import figure12_rat_sensitivity
+
+
+def test_fig12_rat_sensitivity(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure12_rat_sensitivity, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig12_rat_sensitivity", result.text)
+    # A single RAT level wastes energy (paper: ~9% over Timestamp).
+    single_time, single_energy = result.data["L-1"]
+    assert single_energy > 1.01
+    # The chosen configuration (2 levels, RATmax=16) approximates the
+    # Timestamp scheme closely.
+    chosen_time, chosen_energy = result.data["L-2,T-16"]
+    assert abs(chosen_time - 1.0) < 0.06
+    assert abs(chosen_energy - 1.0) < 0.06
+    assert chosen_energy < single_energy

@@ -1,0 +1,18 @@
+"""Figure 13: Limited_k classifier sensitivity (k = 1, 3, 5, 7 vs Complete)."""
+
+from repro.experiments.figures import figure13_limited_classifier
+
+
+def test_fig13_limited_classifier(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        figure13_limited_classifier, args=(runner,), rounds=1, iterations=1
+    )
+    save_result("fig13_limited_classifier", result.text)
+    summary = result.data["geomean"]
+    # k=1 misclassifies (paper's radix/bodytrack pathologies); k=3 recovers
+    # most of the Complete classifier's behaviour at 1/10th the storage.
+    assert summary[1][1] > summary[3][1]  # k=1 energy worse than k=3
+    assert summary[3][0] < 1.15  # k=3 completion time near Complete
+    assert summary[3][1] < summary[1][1]
+    # Diminishing returns beyond k=3.
+    assert abs(summary[7][1] - summary[3][1]) < abs(summary[3][1] - summary[1][1])

@@ -1,0 +1,14 @@
+"""Figure 14: Adapt1-way vs Adapt2-way (the need for two-way transitions)."""
+
+from repro.experiments.figures import figure14_one_way
+
+
+def test_fig14_one_way_transition(benchmark, runner, save_result):
+    result = benchmark.pedantic(figure14_one_way, args=(runner,), rounds=1, iterations=1)
+    save_result("fig14_one_way", result.text)
+    geomean_time, _geomean_energy = result.data["geomean"]
+    # One-way demotion must be worse overall (paper: +34% time, +13% energy).
+    assert geomean_time > 1.0
+    # The re-promotion-dependent benchmarks suffer the most.
+    assert result.data["lu-nc"][0] > 1.2
+    assert result.data["dijkstra-ss"][0] > 1.1

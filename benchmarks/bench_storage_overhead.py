@@ -1,0 +1,19 @@
+"""Section 3.6: storage-overhead arithmetic (18KB / 192KB / 12KB / 32KB)."""
+
+import pytest
+
+from repro.common.params import ArchConfig, ProtocolConfig
+from repro.experiments.storage import storage_report, storage_table
+
+
+def test_storage_overhead_table(benchmark, save_result):
+    text = benchmark.pedantic(storage_table, rounds=1, iterations=1)
+    save_result("storage_overhead", text)
+    limited = storage_report(ArchConfig(), ProtocolConfig(classifier="limited"))
+    complete = storage_report(ArchConfig(), ProtocolConfig(classifier="complete"))
+    assert limited.classifier_kb == pytest.approx(18.0)
+    assert complete.classifier_kb == pytest.approx(192.0)
+    assert limited.sharer_kb == pytest.approx(12.0)
+    assert limited.fullmap_kb == pytest.approx(32.0)
+    assert limited.beats_fullmap()
+    assert limited.overhead_fraction == pytest.approx(0.057, abs=0.005)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure-reproduction benchmark suite.
+
+All benches share one memoizing ``ExperimentRunner`` (figures 8-11 reuse the
+same PCT sweep, so each (workload, protocol) point simulates exactly once per
+session).  Every bench renders its figure's table, prints it and archives it
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference the output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The paper's evaluation system (64 cores) at benchmark scale."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Compare locality-classifier organizations on one workload.
+
+Reproduces the Section 5.3/5.4 comparisons in miniature: the Complete
+classifier (per-core state at every directory entry, 192KB/core) vs
+Limited_k (k tracked cores + majority vote, 18KB/core at k=3) vs the
+Adapt1-way ablation (no re-promotion).
+
+Run with::
+
+    python examples/classifier_comparison.py [workload]
+"""
+
+import sys
+
+from repro.experiments.harness import ExperimentRunner, adaptive_protocol
+from repro.experiments.storage import storage_report
+from repro.common.params import ArchConfig, ProtocolConfig
+
+
+def main(workload: str) -> None:
+    runner = ExperimentRunner(workloads=(workload,))
+    configs = [
+        ("Complete", adaptive_protocol(classifier="complete")),
+        ("Limited_1", adaptive_protocol(classifier="limited", limited_k=1)),
+        ("Limited_3", adaptive_protocol(classifier="limited", limited_k=3)),
+        ("Limited_7", adaptive_protocol(classifier="limited", limited_k=7)),
+        ("Adapt1-way", adaptive_protocol(one_way=True)),
+    ]
+    print(f"workload: {workload}\n")
+    print(f"{'classifier':<12}{'time':>12}{'energy (nJ)':>14}{'promos':>8}"
+          f"{'demos':>8}{'storage/core':>14}")
+    for label, proto in configs:
+        stats = runner.run(workload, proto)
+        report = storage_report(ArchConfig(), proto)
+        print(f"{label:<12}{stats.completion_time:12,.0f}"
+              f"{stats.energy.total / 1e3:14,.1f}{stats.promotions:8,}"
+              f"{stats.demotions:8,}{report.classifier_kb:11.1f} KB")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "streamcluster")

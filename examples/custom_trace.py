@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bring your own trace: build one by hand, save it, reload it, simulate it.
+
+This example shows the downstream-user workflow the trace tools enable:
+
+1. author a workload with ``TraceBuilder`` (or convert an external trace to
+   the documented text format);
+2. persist it (text for inspection, binary for bulk);
+3. simulate it under the baseline and the locality-aware protocol.
+
+The hand-built kernel mixes two behaviours the classifier must separate:
+a small "hot" working set every core re-reads many times (strong locality -
+it should stay privately cached) and a large shared "stream" every core
+scans once per pass (no reuse before eviction - it should be demoted to
+remote word accesses instead of polluting the L1).
+
+Run with::
+
+    python examples/custom_trace.py
+"""
+
+import pathlib
+import tempfile
+
+from repro import Simulator, baseline_protocol, load_workload  # noqa: F401  (public API tour)
+from repro.common.params import ProtocolConfig
+from repro.experiments.harness import bench_arch
+from repro.workloads.base import TraceBuilder
+from repro.workloads.tracefile import load_trace, save_trace, trace_summary
+
+ROUNDS = 6
+HOT_LINES = 8
+STREAM_LINES = 1024  # 64 KB shared scan: 8x one L1 at bench scale
+
+
+def build_trace(num_cores: int):
+    builder = TraceBuilder("hot-vs-stream", num_cores)
+    # One page per core so R-NUCA classifies each core's hot set private.
+    hot = builder.address_space.alloc("hot", 4096 * num_cores)
+    stream = builder.address_space.alloc("stream", STREAM_LINES * 64)
+
+    for tid in range(num_cores):
+        thread = builder.thread(tid)
+        my_hot = hot + tid * 4096
+        chunk = STREAM_LINES // ROUNDS
+        for round_ in range(ROUNDS):
+            # Hot data: re-read the same few private lines over and over.
+            for _ in range(4):
+                thread.work(4)
+                thread.read_words(my_hot, count=HOT_LINES, stride_words=8)
+            # Shared stream: every core scans the same big region once per
+            # round, interleaved with the hot reuse.
+            for i in range(round_ * chunk, (round_ + 1) * chunk):
+                thread.work(1)
+                thread.read(stream + i * 64)
+    builder.barrier_all()
+    return builder.build()
+
+
+def main() -> None:
+    arch = bench_arch()
+    trace = build_trace(arch.num_cores)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "hot-vs-stream.traceb"
+        save_trace(trace, path)
+        print(f"saved {path.name} ({path.stat().st_size:,} bytes)")
+        reloaded = load_trace(path)
+
+    print("trace summary:")
+    for key, value in trace_summary(reloaded).items():
+        print(f"  {key:<20} {value:,}")
+    print()
+
+    base = Simulator(arch, baseline_protocol(), warmup=True).run(reloaded)
+    adaptive = Simulator(arch, ProtocolConfig(pct=4), warmup=True).run(reloaded)
+
+    print(f"{'':<22}{'baseline':>12}{'adaptive':>12}")
+    print(f"{'completion (cycles)':<22}{base.completion_time:>12,.0f}{adaptive.completion_time:>12,.0f}")
+    print(f"{'energy (nJ)':<22}{base.energy.total / 1e3:>12,.1f}{adaptive.energy.total / 1e3:>12,.1f}")
+    print(f"{'network flits':<22}{base.network_flits:>12,}{adaptive.network_flits:>12,}")
+    print(f"{'remote accesses':<22}{base.remote_accesses:>12,}{adaptive.remote_accesses:>12,}")
+    print()
+    print(
+        "The hot page stays privately cached (high utilization) while the\n"
+        "single-use stream is demoted to remote word accesses - the\n"
+        "classifier separates the two automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Dissect where time and energy go (Figures 8/9 style, one workload).
+
+Prints the six completion-time components and six energy components at
+every PCT, showing how the adaptive protocol trades invalidation round-trips
+and line fills for word accesses.
+
+Run with::
+
+    python examples/latency_anatomy.py [workload]
+"""
+
+import sys
+
+from repro.experiments.harness import ExperimentRunner, protocol_for_pct
+
+TIME_COMPONENTS = ("compute", "l1_to_l2", "l2_waiting", "l2_sharers", "l2_offchip", "sync")
+ENERGY_COMPONENTS = ("l1i", "l1d", "l2", "directory", "router", "link")
+
+
+def main(workload: str) -> None:
+    runner = ExperimentRunner(workloads=(workload,))
+    print(f"workload: {workload}\n")
+    print("Completion-time components (cycles, average per core):")
+    print(f"{'pct':>4}" + "".join(f"{c:>12}" for c in TIME_COMPONENTS) + f"{'total':>12}")
+    for pct in (1, 2, 4, 8):
+        lat = runner.run(workload, protocol_for_pct(pct)).latency
+        print(f"{pct:>4}" + "".join(f"{getattr(lat, c):12,.0f}" for c in TIME_COMPONENTS)
+              + f"{lat.total:12,.0f}")
+    print("\nDynamic energy components (nJ):")
+    print(f"{'pct':>4}" + "".join(f"{c:>12}" for c in ENERGY_COMPONENTS) + f"{'total':>12}")
+    for pct in (1, 2, 4, 8):
+        energy = runner.run(workload, protocol_for_pct(pct)).energy
+        print(f"{pct:>4}"
+              + "".join(f"{getattr(energy, c) / 1e3:12,.1f}" for c in ENERGY_COMPONENTS)
+              + f"{energy.total / 1e3:12,.1f}")
+    print("\nMiss-type breakdown (% of L1-D accesses):")
+    print(f"{'pct':>4}{'cold':>10}{'capacity':>10}{'upgrade':>10}{'sharing':>10}"
+          f"{'word':>10}{'total':>10}")
+    for pct in (1, 2, 4, 8):
+        miss = runner.run(workload, protocol_for_pct(pct)).miss
+        rates = miss.rate_breakdown()
+        print(f"{pct:>4}" + "".join(
+            f"{100 * rates[k]:10.2f}" for k in ("cold", "capacity", "upgrade", "sharing", "word")
+        ) + f"{100 * miss.miss_rate:10.2f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "blackscholes")

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Sweep the Private Caching Threshold on a few benchmarks (Figure 11 style).
+
+Shows the characteristic U-shape: small PCT leaves low-locality lines in the
+private caches; large PCT demotes well-utilized lines and pays word-miss
+round-trips instead.
+
+Run with::
+
+    python examples/pct_sweep.py [workload ...]
+"""
+
+import sys
+
+from repro.common.statsutil import geomean
+from repro.experiments.harness import ExperimentRunner, protocol_for_pct
+
+DEFAULT_WORKLOADS = ("streamcluster", "blackscholes", "lu-nc", "water-sp")
+PCTS = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def main(workloads) -> None:
+    runner = ExperimentRunner(workloads=tuple(workloads))
+    print(f"{'pct':>4} | " + " | ".join(f"{name:>22}" for name in workloads)
+          + f" | {'geomean':>15}")
+    print(f"{'':>4} | " + " | ".join(f"{'time':>10} {'energy':>11}" for _ in workloads)
+          + f" | {'time':>7} {'energy':>7}")
+    anchors = {name: runner.run(name, protocol_for_pct(1)) for name in workloads}
+    for pct in PCTS:
+        cells = []
+        tratios, eratios = [], []
+        for name in workloads:
+            stats = runner.run(name, protocol_for_pct(pct))
+            t = stats.completion_time / anchors[name].completion_time
+            e = stats.energy.total / anchors[name].energy.total
+            tratios.append(t)
+            eratios.append(e)
+            cells.append(f"{t:10.3f} {e:11.3f}")
+        print(f"{pct:>4} | " + " | ".join(cells)
+              + f" | {geomean(tratios):7.3f} {geomean(eratios):7.3f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_WORKLOADS)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark under the baseline and the
+locality-aware adaptive protocol, and compare them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ProtocolConfig, Simulator, baseline_protocol, load_workload
+from repro.experiments.harness import bench_arch
+
+
+def main() -> None:
+    # The paper's evaluation system: 64 tiles, mesh NoC, ACKwise_4,
+    # R-NUCA shared L2 (capacity-scaled caches - see DESIGN.md).
+    arch = bench_arch()
+
+    # Build a deterministic trace of the streamcluster kernel (Table 2).
+    trace = load_workload("streamcluster", arch, scale="small")
+    print(f"workload: {trace.name}")
+    print(f"  memory accesses : {trace.memory_accesses:,}")
+    print(f"  instructions    : {trace.instructions:,}")
+    print(f"  footprint       : {trace.footprint_lines():,} cache lines")
+    print()
+
+    # Baseline: plain directory protocol (the paper's PCT=1 anchor).
+    base = Simulator(arch, baseline_protocol(), warmup=True).run(trace)
+    # Adaptive: PCT=4, Limited_3 classifier, RATmax=16 - Table 1 defaults.
+    adaptive = Simulator(arch, ProtocolConfig(pct=4), warmup=True).run(trace)
+
+    def show(label, stats):
+        print(f"{label}:")
+        print(f"  completion time : {stats.completion_time:12,.0f} cycles")
+        print(f"  dynamic energy  : {stats.energy.total / 1e3:12,.1f} nJ")
+        print(f"  L1-D miss rate  : {100 * stats.miss.miss_rate:12.2f} %")
+        print(f"  network flits   : {stats.network_flits:12,}")
+        print(f"  remote accesses : {stats.remote_accesses:12,}")
+        print()
+
+    show("baseline (R-NUCA + ACKwise_4)", base)
+    show("locality-aware adaptive (PCT=4)", adaptive)
+
+    print("adaptive / baseline:")
+    print(f"  completion time : {adaptive.completion_time / base.completion_time:.3f}")
+    print(f"  energy          : {adaptive.energy.total / base.energy.total:.3f}")
+
+
+if __name__ == "__main__":
+    main()

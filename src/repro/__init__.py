@@ -1,0 +1,51 @@
+"""repro - reproduction of "The Locality-Aware Adaptive Cache Coherence
+Protocol" (Kurian, Khan, Devadas - ISCA 2013).
+
+Public API quickstart::
+
+    from repro import ArchConfig, ProtocolConfig, Simulator, load_workload
+
+    arch = ArchConfig(num_cores=64)
+    sim = Simulator(arch, ProtocolConfig(pct=4))
+    trace = load_workload("streamcluster", arch, scale="small")
+    stats = sim.run(trace)
+    print(stats.completion_time, stats.energy.total)
+"""
+
+from repro.common import (
+    AccessKind,
+    ArchConfig,
+    CacheGeometry,
+    EnergyConfig,
+    MESIState,
+    MissType,
+    ProtocolConfig,
+    SharerMode,
+    baseline_protocol,
+)
+from repro.common.params import victim_replication_protocol
+from repro.sim import RunStats, Simulator
+from repro.workloads import WORKLOAD_NAMES, load_workload
+from repro.workloads.tracefile import load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "ArchConfig",
+    "CacheGeometry",
+    "EnergyConfig",
+    "MESIState",
+    "MissType",
+    "ProtocolConfig",
+    "RunStats",
+    "SharerMode",
+    "Simulator",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "baseline_protocol",
+    "load_trace",
+    "load_workload",
+    "save_trace",
+    "victim_replication_protocol",
+]

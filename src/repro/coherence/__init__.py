@@ -1,0 +1,29 @@
+"""Coherence substrate: sharer-tracking directories and locality classifiers."""
+
+from repro.coherence.classifier import (
+    CompleteClassifier,
+    CoreLocality,
+    LimitedClassifier,
+    LocalityClassifier,
+    make_classifier,
+)
+from repro.coherence.directory import (
+    AckwisePolicy,
+    DirectoryEntry,
+    FullMapPolicy,
+    SharerTrackingPolicy,
+    make_sharer_policy,
+)
+
+__all__ = [
+    "AckwisePolicy",
+    "CompleteClassifier",
+    "CoreLocality",
+    "DirectoryEntry",
+    "FullMapPolicy",
+    "LimitedClassifier",
+    "LocalityClassifier",
+    "SharerTrackingPolicy",
+    "make_classifier",
+    "make_sharer_policy",
+]

@@ -1,0 +1,13 @@
+"""Locality classifiers: Complete and Limited_k, Timestamp and RAT policies."""
+
+from repro.coherence.classifier.base import CoreLocality, LocalityClassifier
+from repro.coherence.classifier.complete import CompleteClassifier
+from repro.coherence.classifier.limited import LimitedClassifier, make_classifier
+
+__all__ = [
+    "CompleteClassifier",
+    "CoreLocality",
+    "LimitedClassifier",
+    "LocalityClassifier",
+    "make_classifier",
+]

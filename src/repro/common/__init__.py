@@ -1,0 +1,47 @@
+"""Shared types, configuration and helpers for the repro package."""
+
+from repro.common.errors import (
+    CoherenceError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.params import (
+    ArchConfig,
+    CacheGeometry,
+    EnergyConfig,
+    ProtocolConfig,
+    baseline_protocol,
+)
+from repro.common.types import (
+    AccessKind,
+    DirState,
+    MESIState,
+    MissType,
+    Op,
+    RemovalReason,
+    ServiceClass,
+    SharerMode,
+)
+
+__all__ = [
+    "AccessKind",
+    "ArchConfig",
+    "CacheGeometry",
+    "CoherenceError",
+    "ConfigError",
+    "DirState",
+    "EnergyConfig",
+    "MESIState",
+    "MissType",
+    "Op",
+    "ProtocolConfig",
+    "RemovalReason",
+    "ReproError",
+    "ServiceClass",
+    "SharerMode",
+    "SimulationError",
+    "TraceError",
+    "baseline_protocol",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An architecture/protocol/energy configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (e.g. malformed trace)."""
+
+
+class CoherenceError(SimulationError):
+    """A coherence invariant (SWMR, data value, inclusion) was violated.
+
+    Raised only in verify mode; signals a protocol implementation bug.
+    """
+
+
+class TraceError(ReproError):
+    """A workload produced a malformed trace (bad opcode, unbalanced locks...)."""

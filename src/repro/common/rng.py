@@ -1,0 +1,27 @@
+"""Deterministic seed derivation for workload generators.
+
+Every workload derives all of its random state from a single integer seed via
+``derive_seed`` so that traces (and therefore every figure) regenerate
+identically run-to-run and machine-to-machine.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_seed(*parts: int | str) -> int:
+    """Mix arbitrary parts (workload name, thread id, phase...) into a seed."""
+    digest = 0
+    for part in parts:
+        # The separator keeps part boundaries significant:
+        # ("a", "b") must not collide with ("ab",).
+        data = str(part).encode("utf-8") + b"\x1f"
+        digest = zlib.crc32(data, digest)
+    return digest & 0x7FFFFFFF
+
+
+def make_rng(*parts: int | str) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically from ``parts``."""
+    return random.Random(derive_seed(*parts))

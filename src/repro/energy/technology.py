@@ -1,0 +1,113 @@
+"""Technology-node scaling rules shared by the McPAT/DSENT-like backends.
+
+The paper evaluates at the 11 nm node (Section 4.2) and leans on one scaling
+fact (Section 5.1.1): **transistors scale better than wires**.  Device
+capacitance shrinks roughly with feature size while wire capacitance per
+millimetre is nearly constant, so as the node advances, wire-dominated
+components (mesh links, long bitlines) grow *relative* to gate-dominated
+components (routers, decoders).  This module captures exactly that:
+
+* gate (device) energy per switched bit scales with ``feature_nm`` and
+  ``vdd**2``;
+* wire energy per bit-mm scales with ``vdd**2`` only.
+
+The built-in nodes follow the ITRS-flavoured voltage ladder used by the
+McPAT/DSENT era of tools.  Absolute joule values are calibrated so that the
+default :class:`repro.common.params.EnergyConfig` constants emerge at 11 nm;
+what the reproduction relies on is the *relative* structure, which is scaling
+-rule driven, not hand-tuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Reference node for calibration: gate/wire unit energies below are quoted
+#: at 45 nm, the classic McPAT publication node.
+REFERENCE_NM = 45.0
+
+#: Gate energy per switched bit of a minimum-sized SRAM/logic structure at
+#: the reference node (pJ).  Everything gate-like is expressed as multiples.
+#: Calibrated so the 11 nm mesh router lands at the EnergyConfig default
+#: (~0.55 pJ/flit).
+GATE_ENERGY_PJ_45 = 0.02966
+
+#: Wire energy per bit per millimetre at the reference node (pJ/bit/mm).
+#: Wires do not shrink: this constant only rides the voltage ladder.
+#: Calibrated so a 64-bit flit over a 1 mm link at 11 nm lands at the
+#: EnergyConfig default (~1.15 pJ/flit).
+WIRE_ENERGY_PJ_PER_MM_45 = 0.03666
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One CMOS technology point: feature size and supply voltage."""
+
+    feature_nm: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ConfigError(f"feature size must be positive, got {self.feature_nm}")
+        if not 0.1 <= self.vdd <= 2.0:
+            raise ConfigError(f"implausible supply voltage {self.vdd} V")
+
+    # ------------------------------------------------------------------
+    @property
+    def _vdd_factor(self) -> float:
+        """Dynamic energy rides CV^2: the voltage contribution."""
+        ref_vdd = NODES[REFERENCE_NM].vdd
+        return (self.vdd / ref_vdd) ** 2
+
+    @property
+    def gate_energy_pj(self) -> float:
+        """Energy to switch one gate-dominated bit at this node (pJ).
+
+        Device capacitance scales linearly with feature size.
+        """
+        cap_factor = self.feature_nm / REFERENCE_NM
+        return GATE_ENERGY_PJ_45 * cap_factor * self._vdd_factor
+
+    @property
+    def wire_energy_pj_per_mm(self) -> float:
+        """Energy to drive one bit down one millimetre of wire (pJ).
+
+        Wire capacitance per mm is (to first order) node-independent, so
+        only the voltage ladder applies - the "poor wire scaling" of
+        Section 5.1.1.
+        """
+        return WIRE_ENERGY_PJ_PER_MM_45 * self._vdd_factor
+
+    @property
+    def wire_to_gate_ratio(self) -> float:
+        """How many gate-bit switches one wire bit-mm costs at this node.
+
+        Grows as the node shrinks; the reason link energy overtakes router
+        energy at 11 nm.
+        """
+        return self.wire_energy_pj_per_mm / self.gate_energy_pj
+
+
+#: ITRS-flavoured voltage ladder (feature nm -> node).
+NODES: dict[float, TechnologyNode] = {
+    45.0: TechnologyNode(45.0, 1.00),
+    32.0: TechnologyNode(32.0, 0.95),
+    22.0: TechnologyNode(22.0, 0.85),
+    16.0: TechnologyNode(16.0, 0.78),
+    11.0: TechnologyNode(11.0, 0.70),
+}
+
+#: The paper's evaluation node.
+NODE_11NM = NODES[11.0]
+NODE_45NM = NODES[45.0]
+
+
+def node(feature_nm: float) -> TechnologyNode:
+    """Look up a built-in node by feature size."""
+    try:
+        return NODES[float(feature_nm)]
+    except KeyError:
+        known = ", ".join(f"{k:g}" for k in sorted(NODES))
+        raise ConfigError(f"unknown technology node {feature_nm} nm (known: {known})") from None

@@ -1,0 +1,30 @@
+"""Experiment harness: figure reproductions, sweeps, storage arithmetic."""
+
+from repro.experiments.figures import FIGURES, FigureResult
+from repro.experiments.harness import (
+    PCT_SWEEP_DETAIL,
+    PCT_SWEEP_MISS,
+    PCT_SWEEP_WIDE,
+    ExperimentRunner,
+    adaptive_protocol,
+    bench_arch,
+    protocol_for_pct,
+    shared_runner,
+)
+from repro.experiments.storage import StorageReport, storage_report, storage_table
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "ExperimentRunner",
+    "PCT_SWEEP_DETAIL",
+    "PCT_SWEEP_MISS",
+    "PCT_SWEEP_WIDE",
+    "StorageReport",
+    "adaptive_protocol",
+    "bench_arch",
+    "protocol_for_pct",
+    "shared_runner",
+    "storage_report",
+    "storage_table",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments --figure 11                 # geomean PCT sweep
+    repro-experiments --figure 8 --scale full     # energy stacks, full scale
+    repro-experiments --all                       # every figure
+    repro-experiments --storage                   # Section 3.6 arithmetic
+    repro-experiments --list                      # available figures/workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import ExperimentRunner, bench_arch
+from repro.experiments.storage import storage_table
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of the Locality-Aware "
+        "Adaptive Cache Coherence Protocol (ISCA 2013).",
+    )
+    parser.add_argument("--figure", action="append", choices=sorted(FIGURES),
+                        help="figure id to reproduce (repeatable)")
+    parser.add_argument("--all", action="store_true", help="reproduce every figure")
+    parser.add_argument("--storage", action="store_true",
+                        help="print the Section 3.6 storage-overhead table")
+    parser.add_argument("--report", action="store_true",
+                        help="regenerate EXPERIMENTS.md from archived bench results")
+    parser.add_argument("--list", action="store_true",
+                        help="list available figures and workloads")
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                        help="workload problem-size scale (default: small)")
+    parser.add_argument("--cores", type=int, default=64,
+                        help="number of cores (default: 64)")
+    parser.add_argument("--workloads", nargs="+", metavar="NAME",
+                        help="restrict to a subset of benchmarks")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="measure the cold run instead of warmup+measure")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("figures  :", ", ".join(sorted(FIGURES)))
+        print("workloads:", ", ".join(WORKLOAD_NAMES))
+        return 0
+    if args.storage:
+        print(storage_table())
+        if not (args.all or args.figure or args.report):
+            return 0
+    if args.report:
+        from repro.experiments import report
+
+        report.main()
+        if not (args.all or args.figure):
+            return 0
+
+    wanted = sorted(FIGURES) if args.all else (args.figure or [])
+    if not wanted:
+        build_parser().print_help()
+        return 1
+
+    workloads = tuple(args.workloads) if args.workloads else WORKLOAD_NAMES
+    unknown = set(workloads) - set(WORKLOAD_NAMES)
+    if unknown:
+        print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(
+        arch=bench_arch(args.cores),
+        scale=args.scale,
+        workloads=workloads,
+        warmup=not args.no_warmup,
+    )
+    for figure_id in wanted:
+        start = time.time()
+        result = FIGURES[figure_id](runner)
+        print(result.text)
+        print(f"[{result.figure} in {time.time() - start:.1f}s, "
+              f"{runner.cached_runs} cached runs]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Memory-system substrate: caches, L2 slices, DRAM controllers, golden memory."""
+
+from repro.mem.cache import CacheLine, SetAssocCache
+from repro.mem.golden import GoldenMemory
+from repro.mem.l1 import L1Cache
+from repro.mem.l2 import L2Line, L2Slice
+from repro.mem.memctrl import MemoryController, MemorySubsystem
+
+__all__ = [
+    "CacheLine",
+    "GoldenMemory",
+    "L1Cache",
+    "L2Line",
+    "L2Slice",
+    "MemoryController",
+    "MemorySubsystem",
+    "SetAssocCache",
+]

@@ -1,0 +1,131 @@
+"""Generic set-associative cache with LRU replacement.
+
+This is the hot path of the simulator: lines are stored per-set in small
+dicts keyed by the *full line number* (the set index is derived from the line
+number, so keys never collide across sets) and replacement uses a global
+monotonic use-counter per cache, which makes LRU selection an O(associativity)
+scan of at most 8 ways.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.common.params import CacheGeometry
+from repro.common.types import MESIState
+
+
+class CacheLine:
+    """One L1 line: MESI state + the paper's locality-tracking tag extensions.
+
+    Figure 5: each L1 tag is extended with a private utilization counter and
+    (for the Timestamp classification scheme) a last-access timestamp.
+    """
+
+    __slots__ = ("state", "last_use", "last_access", "utilization", "data")
+
+    def __init__(self, state: MESIState = MESIState.INVALID) -> None:
+        self.state = state
+        self.last_use = 0  # LRU replacement counter
+        self.last_access = 0.0  # last-access timestamp (Timestamp scheme)
+        self.utilization = 0  # private utilization counter
+        self.data: list[int] | None = None  # word values (verify mode only)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(state={MESIState(self.state).name}, util={self.utilization}, "
+            f"last_use={self.last_use})"
+        )
+
+
+class SetAssocCache:
+    """Set-associative cache indexed by line number with LRU replacement."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.num_sets = geometry.num_sets
+        self.associativity = geometry.associativity
+        self._set_mask = geometry.set_mask
+        self._sets: list[dict[int, object]] = [dict() for _ in range(self.num_sets)]
+        self._use_counter = 0
+
+    # ------------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        return line & self._set_mask
+
+    def get(self, line: int):
+        """Return the resident object for ``line`` or None. Does NOT touch LRU."""
+        return self._sets[line & self._set_mask].get(line)
+
+    def touch(self, entry) -> None:
+        """Mark ``entry`` most-recently-used."""
+        self._use_counter += 1
+        entry.last_use = self._use_counter
+
+    def has_free_way(self, line: int) -> bool:
+        """True if the set that ``line`` maps to has an invalid (free) way."""
+        return len(self._sets[line & self._set_mask]) < self.associativity
+
+    def victim(self, line: int) -> tuple[int, object] | None:
+        """Return the LRU (line, entry) that would be evicted to make room
+        for ``line``, or None if a free way exists."""
+        bucket = self._sets[line & self._set_mask]
+        if len(bucket) < self.associativity:
+            return None
+        victim_line = min(bucket, key=lambda ln: bucket[ln].last_use)
+        return victim_line, bucket[victim_line]
+
+    def insert(self, line: int, entry) -> tuple[int, object] | None:
+        """Insert ``entry`` for ``line``; return the evicted (line, entry) if any.
+
+        The caller is responsible for handling the victim (write-back,
+        directory notification) *before* reusing the way; this method simply
+        performs the replacement bookkeeping.
+        """
+        bucket = self._sets[line & self._set_mask]
+        evicted = None
+        if line not in bucket and len(bucket) >= self.associativity:
+            victim_line = min(bucket, key=lambda ln: bucket[ln].last_use)
+            evicted = (victim_line, bucket.pop(victim_line))
+        self._use_counter += 1
+        entry.last_use = self._use_counter
+        bucket[line] = entry
+        return evicted
+
+    def pop(self, line: int):
+        """Remove and return the entry for ``line`` (None if absent)."""
+        return self._sets[line & self._set_mask].pop(line, None)
+
+    def min_last_access(self, line: int) -> float | None:
+        """Minimum last-access timestamp over valid lines in ``line``'s set.
+
+        Used by the Timestamp check (Section 3.2): the directory compares the
+        home line's last access against this minimum.  Returns None when the
+        set has an invalid way, in which case the check trivially passes.
+        """
+        bucket = self._sets[line & self._set_mask]
+        if len(bucket) < self.associativity:
+            return None
+        return min(entry.last_access for entry in bucket.values())
+
+    def entries_in_set(self, line: int) -> list[tuple[int, object]]:
+        """All (line, entry) pairs resident in the set that ``line`` maps to.
+
+        Used by replacement policies that need to choose among a set's ways
+        with protocol-specific preferences (e.g. victim replication).
+        """
+        return list(self._sets[line & self._set_mask].items())
+
+    # ------------------------------------------------------------------
+    def lines(self) -> Iterator[tuple[int, object]]:
+        """Iterate over all (line, entry) pairs resident in the cache."""
+        for bucket in self._sets:
+            yield from bucket.items()
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(bucket) for bucket in self._sets)
+
+    def clear(self) -> None:
+        for bucket in self._sets:
+            bucket.clear()

@@ -1,0 +1,59 @@
+"""Golden (reference) memory used by the functional-verification mode.
+
+Graphite, the simulator the paper evaluates on, "requires the memory system
+to be functionally correct to complete simulation" (Section 4.1).  We provide
+the same property: in verify mode every write updates this golden image at
+the moment it is serviced in coherence order, and every read's returned value
+is checked against it.  A mismatch means the protocol lost or duplicated data
+(e.g. a missing synchronous write-back) and raises ``CoherenceError``.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.errors import CoherenceError
+
+
+class GoldenMemory:
+    """Word-granularity reference image of the entire address space."""
+
+    def __init__(self) -> None:
+        self._lines: dict[int, list[int]] = {}
+
+    def line_snapshot(self, line: int) -> list[int]:
+        """Return a copy of the 8 words of ``line`` (zero-filled if untouched)."""
+        words = self._lines.get(line)
+        if words is None:
+            return [0] * addrmod.WORDS_PER_LINE
+        return list(words)
+
+    def write_word(self, line: int, word_index: int, value: int) -> None:
+        words = self._lines.get(line)
+        if words is None:
+            words = [0] * addrmod.WORDS_PER_LINE
+            self._lines[line] = words
+        words[word_index] = value
+
+    def read_word(self, line: int, word_index: int) -> int:
+        words = self._lines.get(line)
+        if words is None:
+            return 0
+        return words[word_index]
+
+    def check_read(self, line: int, word_index: int, observed: int, context: str) -> None:
+        """Raise ``CoherenceError`` if ``observed`` differs from the golden value."""
+        expected = self.read_word(line, word_index)
+        if observed != expected:
+            raise CoherenceError(
+                f"data-value violation at line {line:#x} word {word_index} "
+                f"({context}): observed {observed}, expected {expected}"
+            )
+
+    def check_line(self, line: int, observed: list[int], context: str) -> None:
+        """Raise ``CoherenceError`` if a written-back line diverged."""
+        expected = self.line_snapshot(line)
+        if observed != expected:
+            raise CoherenceError(
+                f"write-back divergence at line {line:#x} ({context}): "
+                f"observed {observed}, expected {expected}"
+            )

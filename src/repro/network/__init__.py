@@ -1,0 +1,7 @@
+"""On-chip network substrate: 2-D mesh, XY routing, broadcast, contention."""
+
+from repro.network.mesh import MeshNetwork
+from repro.network.messages import MsgType, message_flits
+from repro.network.topology import Mesh2D
+
+__all__ = ["Mesh2D", "MeshNetwork", "MsgType", "message_flits"]

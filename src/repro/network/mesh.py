@@ -1,0 +1,154 @@
+"""Mesh timing and traffic accounting.
+
+Implements the Table-1 network model: 2-cycle hop latency (1 router +
+1 link), 64-bit flits, wormhole-style serialization and *link contention
+only* (infinite input buffers).  The tail of an ``F``-flit message arrives
+``F - 1`` cycles after its head.
+
+Contention uses **epoch-based bandwidth accounting**: each directed link
+carries at most one flit per cycle, tracked in fixed-width epochs.  A
+message consumes capacity in the epochs it traverses and is delayed to the
+first epoch with spare capacity.  Unlike a single "next-free-time" high-water
+mark, this lets messages use a link *before* reservations made further in
+the future (the simulator schedules some events, e.g. DRAM replies, ahead of
+time), so transient bursts don't cascade into phantom chip-wide congestion
+while sustained saturation still queues realistically.
+
+The mesh also counts router and link flit traversals, which the energy model
+converts into dynamic energy (DSENT-like, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import ArchConfig
+from repro.network.messages import MsgType, message_flits
+from repro.network.topology import Mesh2D
+
+#: Cycles per bandwidth-accounting epoch.  One flit per cycle per link,
+#: so each epoch holds EPOCH_CYCLES flits of capacity.
+EPOCH_CYCLES = 32
+
+
+class MeshNetwork:
+    """Timing + traffic model for the electrical 2-D mesh."""
+
+    def __init__(self, arch: ArchConfig, model_contention: bool | None = None) -> None:
+        self.arch = arch
+        self.topology = Mesh2D(arch.num_cores)
+        #: ``model_contention`` overrides ``arch.link_model`` when given
+        #: (kept for tests that construct networks directly).
+        if model_contention is None:
+            self.model_contention = arch.link_model != "none"
+        else:
+            self.model_contention = model_contention
+        self.naive_contention = arch.link_model == "naive"
+        self._link_use: dict[int, dict[int, int]] = {}
+        self._link_free_at: dict[int, float] = {}
+        # Traffic counters (inputs to the energy model).
+        self.router_flit_traversals = 0
+        self.link_flit_traversals = 0
+        self.messages_sent = 0
+        self.flits_sent = 0
+
+    # ------------------------------------------------------------------
+    def reset_contention(self) -> None:
+        """Forget all link reservations (used between independent runs)."""
+        self._link_use.clear()
+        self._link_free_at.clear()
+
+    def flits_for(self, msg: MsgType) -> int:
+        return message_flits(msg, self.arch)
+
+    # ------------------------------------------------------------------
+    def _traverse_naive(self, link: int, t_head: float, flits: int) -> float:
+        """Single next-free-time per link (the ablation model).
+
+        A reservation made for the *future* (e.g. a DRAM reply scheduled
+        ahead) pushes the high-water mark forward and blocks earlier traffic
+        on an idle link; the ablation bench quantifies the resulting phantom
+        congestion against the epoch model.
+        """
+        free_at = self._link_free_at.get(link, 0.0)
+        depart = t_head if t_head >= free_at else free_at
+        self._link_free_at[link] = depart + flits
+        return depart
+
+    def _traverse(self, link: int, t_head: float, flits: int) -> float:
+        """Reserve ``flits`` of bandwidth on ``link``; return head depart time."""
+        if self.naive_contention:
+            return self._traverse_naive(link, t_head, flits)
+        epochs = self._link_use.get(link)
+        if epochs is None:
+            epochs = {}
+            self._link_use[link] = epochs
+        epoch = int(t_head // EPOCH_CYCLES)
+        first = epoch
+        while epochs.get(epoch, 0) >= EPOCH_CYCLES:
+            epoch += 1
+        depart = t_head if epoch == first else float(epoch * EPOCH_CYCLES)
+        remaining = flits
+        while remaining > 0:
+            used = epochs.get(epoch, 0)
+            take = EPOCH_CYCLES - used
+            if take > remaining:
+                take = remaining
+            epochs[epoch] = used + take
+            remaining -= take
+            epoch += 1
+        return depart
+
+    # ------------------------------------------------------------------
+    def unicast(self, src: int, dst: int, msg: MsgType, start: float) -> float:
+        """Send one message; return the arrival time of its tail flit.
+
+        A same-tile "message" (e.g. a request whose home slice is local)
+        never enters the network: it arrives instantly and consumes no
+        network energy, which is exactly why R-NUCA locates private data at
+        the requester's own slice.
+        """
+        flits = self.flits_for(msg)
+        if src == dst:
+            return start
+        path = self.topology.route(src, dst)
+        hop = self.arch.hop_latency
+        t_head = start
+        if self.model_contention:
+            for link in path:
+                t_head = self._traverse(link, t_head, flits) + hop
+        else:
+            t_head = start + len(path) * hop
+        hops = len(path)
+        self.router_flit_traversals += flits * (hops + 1)
+        self.link_flit_traversals += flits * hops
+        self.messages_sent += 1
+        self.flits_sent += flits
+        return t_head + (flits - 1)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, root: int, msg: MsgType, start: float) -> dict[int, float]:
+        """Broadcast from ``root``; return per-tile tail arrival times.
+
+        Each router replicates the message on its tree output links, so the
+        network carries exactly one copy per tree edge (``num_tiles - 1``
+        link traversals per flit) - the single-injection broadcast of
+        Section 3.1.
+        """
+        flits = self.flits_for(msg)
+        arrival: dict[int, float] = {root: start}
+        edges = self.topology.broadcast_tree(root)
+        hop = self.arch.hop_latency
+        for src, dst in edges:
+            t_head = arrival[src] - (flits - 1) if src != root else start
+            if t_head < start:
+                t_head = start
+            link = self.topology.link_id(src, dst)
+            if self.model_contention:
+                t_head = self._traverse(link, t_head, flits) + hop
+            else:
+                t_head = t_head + hop
+            arrival[dst] = t_head + (flits - 1)
+        self.router_flit_traversals += flits * self.topology.num_tiles
+        self.link_flit_traversals += flits * len(edges)
+        self.messages_sent += 1
+        self.flits_sent += flits
+        return arrival

@@ -1,0 +1,72 @@
+"""Coherence message catalogue and flit sizing.
+
+Flit accounting follows Section 3.6 of the paper:
+
+* the flit width is 64 bits and every message carries a 1-flit header
+  (source, destination, address, message type);
+* an invalidation acknowledgement carries the private utilization counter
+  *inside* the header (the paper shows 2 spare bits exist), so it stays
+  a single flit;
+* the cache-line offset and the 1-bit access-length indicator also fit in
+  the request header;
+* the data word to be written (64 bits) is always sent with a write request
+  because the requester does not know whether it is a private or remote
+  sharer - this costs one extra flit and is charged on every write miss;
+* a full cache line is 8 payload flits, a word is 1 payload flit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.params import ArchConfig
+
+
+class MsgType(enum.IntEnum):
+    """Every message class exchanged by the protocol."""
+
+    READ_REQ = 0  #: L1 read miss -> home L2
+    WRITE_REQ = 1  #: L1 write miss -> home L2 (carries the data word)
+    UPGRADE_REQ = 2  #: write to an S-state line -> home L2 (carries data word)
+    LINE_REPLY = 3  #: home -> requester, full cache line (private sharer)
+    WORD_REPLY = 4  #: home -> requester, one word (remote sharer)
+    WORD_WRITE_ACK = 5  #: home -> requester, remote write completion
+    INV_REQ = 6  #: home -> sharer, invalidate
+    INV_BROADCAST = 7  #: home -> all tiles (ACKwise pointer overflow)
+    INV_ACK = 8  #: sharer -> home (utilization piggybacked in header)
+    WB_REQ = 9  #: home -> owner, synchronous write-back/downgrade request
+    WB_DATA = 10  #: owner -> home, line data write-back
+    EVICT_NOTIFY = 11  #: L1 -> home, clean eviction notice (+ utilization)
+    EVICT_DIRTY = 12  #: L1 -> home, dirty eviction with line data
+    MEM_READ_REQ = 13  #: home L2 -> memory controller
+    MEM_READ_REPLY = 14  #: memory controller -> home L2, line data
+    MEM_WRITE = 15  #: home L2 -> memory controller, dirty L2 eviction
+
+
+def message_flits(msg: MsgType, arch: ArchConfig) -> int:
+    """Total flits (header + payload) for a message of type ``msg``."""
+    header = arch.header_flits
+    word = arch.word_flits
+    line = arch.line_flits
+    if msg in (
+        MsgType.READ_REQ,
+        MsgType.INV_REQ,
+        MsgType.INV_BROADCAST,
+        MsgType.INV_ACK,
+        MsgType.WB_REQ,
+        MsgType.EVICT_NOTIFY,
+        MsgType.MEM_READ_REQ,
+        MsgType.WORD_WRITE_ACK,
+    ):
+        return header
+    if msg in (MsgType.WRITE_REQ, MsgType.UPGRADE_REQ, MsgType.WORD_REPLY):
+        return header + word
+    if msg in (
+        MsgType.LINE_REPLY,
+        MsgType.WB_DATA,
+        MsgType.EVICT_DIRTY,
+        MsgType.MEM_READ_REPLY,
+        MsgType.MEM_WRITE,
+    ):
+        return header + line
+    raise ValueError(f"unknown message type {msg!r}")

@@ -1,0 +1,140 @@
+"""2-D mesh topology with XY (dimension-ordered) routing and broadcast trees.
+
+The baseline system (Section 3.1) is a tiled multicore connected by an
+electrical 2-D mesh with XY routing.  The mesh is augmented with broadcast
+support: each router selectively replicates a broadcast message on its output
+links so all cores are reached with a single injection (used by ACKwise when
+the sharer count overflows the hardware pointers).
+
+Tiles are numbered row-major: tile ``t`` sits at ``(x, y) = (t % W, t // W)``.
+A directed link is encoded as the integer ``src_tile * num_tiles + dst_tile``
+so the contention model can use flat dictionaries.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class Mesh2D:
+    """Geometry, routes and broadcast trees of a W x W mesh."""
+
+    def __init__(self, num_tiles: int) -> None:
+        width = int(num_tiles**0.5)
+        if width * width != num_tiles:
+            raise ConfigError(f"mesh requires a square tile count, got {num_tiles}")
+        self.num_tiles = num_tiles
+        self.width = width
+        self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._broadcast_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coord(self, tile: int) -> tuple[int, int]:
+        """Return the (x, y) mesh coordinate of ``tile``."""
+        self._check_tile(tile)
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        """Return the tile id at coordinate (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.width):
+            raise ConfigError(f"coordinate ({x}, {y}) outside {self.width}x{self.width} mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles (number of links traversed)."""
+        sx, sy = self.coord(src)
+        dx, dy = self.coord(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def link_id(self, src: int, dst: int) -> int:
+        """Encode the directed link src->dst as a flat integer."""
+        return src * self.num_tiles + dst
+
+    # ------------------------------------------------------------------
+    # Unicast routing
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Return the XY route src->dst as a tuple of directed link ids.
+
+        XY routing travels fully along the X dimension first, then along Y;
+        it is deterministic and deadlock-free on a mesh.
+        """
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        self._check_tile(src)
+        self._check_tile(dst)
+        links: list[int] = []
+        x, y = self.coord(src)
+        dx, dy = self.coord(dst)
+        here = src
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            nxt = self.tile_at(x, y)
+            links.append(self.link_id(here, nxt))
+            here = nxt
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            nxt = self.tile_at(x, y)
+            links.append(self.link_id(here, nxt))
+            here = nxt
+        result = tuple(links)
+        self._route_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Broadcast tree
+    # ------------------------------------------------------------------
+    def broadcast_tree(self, root: int) -> tuple[tuple[int, int], ...]:
+        """Return the broadcast tree rooted at ``root``.
+
+        The tree mirrors XY routing: the message travels along the root's row
+        in both directions, and every router in that row forwards it up and
+        down its column.  Each tile is reached exactly once, so the tree has
+        ``num_tiles - 1`` edges.
+
+        Edges are returned as ``(src_tile, dst_tile)`` pairs in BFS order
+        (parents always precede children), which lets the contention model
+        propagate arrival times in a single pass.
+        """
+        cached = self._broadcast_cache.get(root)
+        if cached is not None:
+            return cached
+        self._check_tile(root)
+        edges: list[tuple[int, int]] = []
+        rx, ry = self.coord(root)
+        # Along the root's row, outward in both directions.
+        row_tiles = [root]
+        for direction in (1, -1):
+            x = rx
+            here = root
+            while 0 <= x + direction < self.width:
+                x += direction
+                nxt = self.tile_at(x, ry)
+                edges.append((here, nxt))
+                row_tiles.append(nxt)
+                here = nxt
+        # From every row tile, up and down its column.
+        for row_tile in row_tiles:
+            cx, _ = self.coord(row_tile)
+            for direction in (1, -1):
+                y = ry
+                here = row_tile
+                while 0 <= y + direction < self.width:
+                    y += direction
+                    nxt = self.tile_at(cx, y)
+                    edges.append((here, nxt))
+                    here = nxt
+        result = tuple(edges)
+        self._broadcast_cache[root] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_tile(self, tile: int) -> None:
+        if not 0 <= tile < self.num_tiles:
+            raise ConfigError(f"tile {tile} outside 0..{self.num_tiles - 1}")

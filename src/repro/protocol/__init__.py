@@ -1,0 +1,5 @@
+"""The locality-aware adaptive coherence protocol engine."""
+
+from repro.protocol.engine import AccessResult, ProtocolEngine
+
+__all__ = ["AccessResult", "ProtocolEngine"]

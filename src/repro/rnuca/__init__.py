@@ -1,0 +1,6 @@
+"""Reactive-NUCA data placement: page classification + home-slice mapping."""
+
+from repro.rnuca.page_table import PageKind, RNucaPageTable
+from repro.rnuca.placement import RNucaPlacement
+
+__all__ = ["PageKind", "RNucaPageTable", "RNucaPlacement"]

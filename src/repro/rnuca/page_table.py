@@ -1,0 +1,94 @@
+"""OS page-table emulation for R-NUCA data classification.
+
+Reactive-NUCA (Hardavellas et al., ISCA 2009) classifies data as private or
+shared *at page granularity using OS page tables* (Section 2.1 of the paper):
+
+* a data page is **private** to the first core that touches it;
+* when a second core touches the page it is reclassified **shared** for the
+  rest of the execution (transitions are one-way in R-NUCA);
+* **instruction** pages are classified on first fetch and replicated per
+  cluster of 4 cores.
+
+The transition private -> shared requires flushing the page's lines from the
+old home slice (placement changes); the protocol engine performs the flush
+when ``classify_data`` reports a transition.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import SimulationError
+
+
+class PageKind(enum.IntEnum):
+    PRIVATE = 0
+    SHARED = 1
+    INSTRUCTION = 2
+
+
+class RNucaPageTable:
+    """First-touch private/shared page classification."""
+
+    def __init__(self) -> None:
+        # page -> (kind, owner core for PRIVATE pages, else -1)
+        self._pages: dict[int, tuple[PageKind, int]] = {}
+        # Statistics.
+        self.private_pages = 0
+        self.shared_pages = 0
+        self.instruction_pages = 0
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    def classify_data(self, page: int, core: int) -> tuple[PageKind, int, int | None]:
+        """Classify a data access by ``core`` to ``page``.
+
+        Returns ``(kind, owner, previous_owner)`` where ``previous_owner`` is
+        the old private owner when this access just triggered a
+        private -> shared transition (the caller must flush that slice), and
+        None otherwise.
+        """
+        entry = self._pages.get(page)
+        if entry is None:
+            self._pages[page] = (PageKind.PRIVATE, core)
+            self.private_pages += 1
+            return PageKind.PRIVATE, core, None
+        kind, owner = entry
+        if kind is PageKind.INSTRUCTION:
+            raise SimulationError(
+                f"page {page:#x} classified as instruction but accessed as data"
+            )
+        if kind is PageKind.SHARED or owner == core:
+            return kind, owner, None
+        # Second core touched a private page: reclassify shared, one-way.
+        self._pages[page] = (PageKind.SHARED, -1)
+        self.private_pages -= 1
+        self.shared_pages += 1
+        self.transitions += 1
+        return PageKind.SHARED, -1, owner
+
+    def classify_instruction(self, page: int) -> PageKind:
+        """Mark/confirm ``page`` as an instruction page."""
+        entry = self._pages.get(page)
+        if entry is None:
+            self._pages[page] = (PageKind.INSTRUCTION, -1)
+            self.instruction_pages += 1
+            return PageKind.INSTRUCTION
+        kind, _ = entry
+        if kind is not PageKind.INSTRUCTION:
+            raise SimulationError(
+                f"page {page:#x} already classified as {kind.name}, cannot be instruction"
+            )
+        return kind
+
+    def kind_of(self, page: int) -> PageKind | None:
+        """Current classification of ``page`` (None if never touched)."""
+        entry = self._pages.get(page)
+        return entry[0] if entry else None
+
+    def owner_of(self, page: int) -> int | None:
+        """Owning core of a PRIVATE page, else None."""
+        entry = self._pages.get(page)
+        if entry and entry[0] is PageKind.PRIVATE:
+            return entry[1]
+        return None

@@ -1,0 +1,82 @@
+"""R-NUCA home-slice placement.
+
+For a 64-core processor R-NUCA places (Section 2.1):
+
+* **private data** at the L2 slice of the owning (requesting) core - local
+  L2 access, no network traversal;
+* **shared data** at a single slice determined by a hash of the line
+  address - one fixed home for the whole chip;
+* **instructions** replicated at one slice per cluster of 4 cores using
+  rotational interleaving - each core finds instruction lines within its
+  2x2 mesh neighbourhood.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.params import ArchConfig
+from repro.rnuca.page_table import PageKind, RNucaPageTable
+
+#: Knuth multiplicative hash constant - spreads consecutive lines across
+#: slices without the striding artifacts of a plain modulo.
+_HASH_MULTIPLIER = 2654435761
+
+
+class RNucaPlacement:
+    """Computes the home L2 slice for every access."""
+
+    def __init__(self, arch: ArchConfig, page_table: RNucaPageTable | None = None) -> None:
+        self.arch = arch
+        self.page_table = page_table if page_table is not None else RNucaPageTable()
+        self._cluster_tiles_cache: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def shared_home(self, line: int) -> int:
+        """Fixed chip-wide home slice for a shared line (address hash)."""
+        return ((line * _HASH_MULTIPLIER) >> 16) % self.arch.num_cores
+
+    def data_home(self, line: int, core: int) -> tuple[int, int | None]:
+        """Home slice for a data access.
+
+        Returns ``(home_tile, flush_owner)``; ``flush_owner`` is the previous
+        private owner's tile when this access just reclassified the page
+        shared (its slice must be flushed), else None.
+        """
+        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
+        kind, owner, previous_owner = self.page_table.classify_data(page, core)
+        if kind is PageKind.PRIVATE:
+            return owner, None
+        return self.shared_home(line), previous_owner
+
+    # ------------------------------------------------------------------
+    def cluster_tiles(self, core: int) -> tuple[int, ...]:
+        """Tiles of ``core``'s instruction-replication cluster (2x2 block)."""
+        cached = self._cluster_tiles_cache.get(core)
+        if cached is not None:
+            return cached
+        width = self.arch.mesh_width
+        side = int(self.arch.instruction_cluster_size**0.5)
+        if side * side != self.arch.instruction_cluster_size:
+            # Non-square cluster: fall back to consecutive tile ids.
+            base = core - core % self.arch.instruction_cluster_size
+            tiles = tuple(range(base, base + self.arch.instruction_cluster_size))
+        else:
+            x, y = core % width, core // width
+            bx, by = x - x % side, y - y % side
+            tiles = tuple(
+                (by + dy) * width + (bx + dx) for dy in range(side) for dx in range(side)
+            )
+        self._cluster_tiles_cache[core] = tiles
+        return tiles
+
+    def instruction_home(self, line: int, core: int) -> int:
+        """Rotationally-interleaved instruction home within the cluster.
+
+        Consecutive instruction lines rotate over the cluster's 4 slices, so
+        each slice replicates 1/4 of the code and every fetch stays within
+        one hop of the requester.
+        """
+        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
+        self.page_table.classify_instruction(page)
+        tiles = self.cluster_tiles(core)
+        return tiles[line % len(tiles)]

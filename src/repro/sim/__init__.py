@@ -1,0 +1,12 @@
+"""Trace-driven multicore simulator and its statistics."""
+
+from repro.sim.multicore import Simulator
+from repro.sim.stats import LatencyBreakdown, MissStats, RunStats, UtilizationHistogram
+
+__all__ = [
+    "LatencyBreakdown",
+    "MissStats",
+    "RunStats",
+    "Simulator",
+    "UtilizationHistogram",
+]

@@ -1,0 +1,250 @@
+"""Trace-driven multicore timing simulator.
+
+Executes one ``Trace`` (per-core instruction/reference streams) over the
+``ProtocolEngine``.  Cores are in-order single-issue @ 1 GHz (Table 1):
+every instruction costs one cycle of compute, memory references additionally
+pay the L1 latency on a hit or the decomposed miss latency returned by the
+protocol engine.
+
+Scheduling is *min-clock*: the core with the smallest local clock executes
+its next record, which guarantees nondecreasing service times at shared
+resources (home L2 slices, mesh links, DRAM queues) and a well-defined
+coherence order.
+
+Synchronization (the "Synchronization" stack of Figure 9):
+
+* **barriers** block arriving cores until all have arrived; everyone resumes
+  at ``max(arrivals) + barrier_latency``;
+* **locks** are FIFO: min-clock processing makes heap order equal arrival
+  order, so a blocked core parks in the lock queue and is released by the
+  unlocking core.
+
+With ``warmup=True`` the trace is executed twice over the same engine and
+only the second execution is measured - the standard warmup/measurement
+methodology.  Short synthetic traces are otherwise dominated by the initial
+cold-miss burst into DRAM, which belongs to neither protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.common.errors import SimulationError
+from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
+from repro.common.types import Op
+from repro.energy.model import EnergyModel
+from repro.protocol.engine import ProtocolEngine
+from repro.protocol.victim import VictimReplicationEngine
+from repro.sim.stats import LatencyBreakdown, RunStats
+from repro.workloads.base import Trace
+
+
+class _LockState:
+    __slots__ = ("held_by", "queue")
+
+    def __init__(self) -> None:
+        self.held_by = -1
+        self.queue: deque[tuple[int, float]] = deque()  # (core, arrival time)
+
+
+class Simulator:
+    """Public facade: configure once, ``run`` any number of traces."""
+
+    def __init__(
+        self,
+        arch: ArchConfig | None = None,
+        proto: ProtocolConfig | None = None,
+        energy: EnergyConfig | None = None,
+        verify: bool = False,
+        warmup: bool = False,
+    ) -> None:
+        self.arch = arch if arch is not None else ArchConfig()
+        self.proto = proto if proto is not None else ProtocolConfig()
+        self.energy_model = EnergyModel(energy if energy is not None else EnergyConfig())
+        self.verify = verify
+        self.warmup = warmup
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> RunStats:
+        """Simulate ``trace`` to completion and return its statistics."""
+        arch = self.arch
+        if trace.num_cores != arch.num_cores:
+            raise SimulationError(
+                f"trace {trace.name!r} built for {trace.num_cores} cores, "
+                f"architecture has {arch.num_cores}"
+            )
+        if self.proto.protocol == "victim":
+            engine = VictimReplicationEngine(arch, self.proto, verify=self.verify)
+        else:
+            engine = ProtocolEngine(arch, self.proto, verify=self.verify)
+        clocks = [0.0] * arch.num_cores
+        if self.warmup:
+            warm_bd = [LatencyBreakdown() for _ in range(arch.num_cores)]
+            clocks = self._execute(engine, trace, clocks, warm_bd)
+            engine.reset_stats()
+        measure_start = max(clocks) if clocks else 0.0
+        breakdowns = [LatencyBreakdown() for _ in range(arch.num_cores)]
+        clocks = self._execute(engine, trace, clocks, breakdowns)
+        completion = (max(clocks) if clocks else 0.0) - measure_start
+        return self._collect(trace, engine, completion, breakdowns)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        engine: ProtocolEngine,
+        trace: Trace,
+        start_clocks: list[float],
+        breakdowns: list[LatencyBreakdown],
+    ) -> list[float]:
+        """Run every core through its stream once; return final clocks."""
+        arch = self.arch
+        num_cores = arch.num_cores
+        streams = trace.per_core
+        indices = [0] * num_cores
+        clocks = list(start_clocks)
+        l1_hit_latency = float(arch.l1d.latency)
+
+        ready: list[tuple[float, int]] = [
+            (clocks[core], core) for core in range(num_cores) if streams[core]
+        ]
+        heapq.heapify(ready)
+        blocked = 0  # cores parked at barriers or lock queues
+
+        barrier_waiters: dict[int, list[tuple[int, float]]] = {}
+        locks: dict[int, _LockState] = {}
+
+        op_read, op_write = int(Op.READ), int(Op.WRITE)
+        op_barrier, op_lock, op_unlock = int(Op.BARRIER), int(Op.LOCK), int(Op.UNLOCK)
+
+        while ready:
+            now, core = heapq.heappop(ready)
+            stream = streams[core]
+            op, address, work = stream[indices[core]]
+            indices[core] += 1
+            bd = breakdowns[core]
+            t = now + work
+
+            if op == op_read or op == op_write:
+                bd.compute += work + l1_hit_latency
+                t += l1_hit_latency
+                result = engine.access(core, op == op_write, address, t)
+                if not result.hit:
+                    bd.l1_to_l2 += result.l1_to_l2
+                    bd.l2_waiting += result.l2_waiting
+                    bd.l2_sharers += result.l2_sharers
+                    bd.l2_offchip += result.l2_offchip
+                    t += result.latency
+            elif op == op_barrier:
+                bd.compute += work
+                waiters = barrier_waiters.setdefault(address, [])
+                waiters.append((core, t))
+                if len(waiters) == num_cores:
+                    release = max(at for _, at in waiters) + arch.barrier_latency
+                    for wcore, at in waiters:
+                        breakdowns[wcore].sync += release - at
+                        clocks[wcore] = release
+                        if indices[wcore] < len(streams[wcore]):
+                            heapq.heappush(ready, (release, wcore))
+                    blocked -= len(waiters) - 1
+                    del barrier_waiters[address]
+                else:
+                    blocked += 1
+                continue
+            elif op == op_lock:
+                bd.compute += work
+                state = locks.setdefault(address, _LockState())
+                if state.held_by < 0:
+                    state.held_by = core
+                    bd.sync += arch.lock_latency
+                    t += arch.lock_latency
+                else:
+                    state.queue.append((core, t))
+                    blocked += 1
+                    continue
+            elif op == op_unlock:
+                bd.compute += work
+                state = locks.get(address)
+                if state is None or state.held_by != core:
+                    raise SimulationError(
+                        f"core {core} unlocks lock {address} it does not hold"
+                    )
+                t += arch.lock_latency
+                bd.sync += arch.lock_latency
+                if state.queue:
+                    wcore, arrival = state.queue.popleft()
+                    state.held_by = wcore
+                    breakdowns[wcore].sync += t - arrival
+                    clocks[wcore] = t
+                    blocked -= 1
+                    if indices[wcore] < len(streams[wcore]):
+                        heapq.heappush(ready, (t, wcore))
+                    elif state.queue:
+                        raise SimulationError(
+                            f"core {wcore} acquired lock {address} at end of trace "
+                            "while others wait"
+                        )
+                else:
+                    state.held_by = -1
+            else:  # Op.WORK
+                bd.compute += work
+
+            clocks[core] = t
+            if indices[core] < len(stream):
+                heapq.heappush(ready, (t, core))
+
+        if blocked:
+            raise SimulationError(
+                f"deadlock: {blocked} cores still blocked at end of trace "
+                f"(barriers awaiting: {sorted(barrier_waiters)})"
+            )
+        return clocks
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        trace: Trace,
+        engine: ProtocolEngine,
+        completion: float,
+        breakdowns: list[LatencyBreakdown],
+    ) -> RunStats:
+        instructions = trace.instructions
+        # Instruction fetches are modeled analytically (DESIGN.md): the
+        # in-order core already pays 1 cycle/instruction and R-NUCA's
+        # cluster replication keeps the instruction stream resident in L1-I,
+        # so L1-I contributes energy proportional to instruction count.
+        engine.energy.l1i_reads += instructions
+
+        total = LatencyBreakdown()
+        for bd in breakdowns:
+            total.add(bd)
+        average = total.scaled(1.0 / max(1, len(breakdowns)))
+
+        stats = RunStats(
+            benchmark=trace.name,
+            num_cores=self.arch.num_cores,
+            completion_time=completion,
+            instructions=instructions,
+            latency=average,
+            miss=engine.miss_stats,
+            energy=self.energy_model.breakdown(engine.energy, engine.network),
+            inval_histogram=engine.inval_histogram,
+            evict_histogram=engine.evict_histogram,
+            broadcast_invalidations=engine.sharer_policy.broadcast_invalidations,
+            unicast_invalidations=engine.sharer_policy.unicast_invalidations,
+            dram_requests=engine.memsys.total_requests,
+            network_flits=engine.network.flits_sent,
+        )
+        classifier = engine.classifier
+        if classifier is not None:
+            stats.promotions = classifier.promotions
+            stats.demotions = classifier.demotions
+            stats.remote_accesses = classifier.remote_accesses
+        stats.l2_hits = sum(s.hits for s in engine.l2)
+        stats.l2_misses = sum(s.misses for s in engine.l2)
+        if isinstance(engine, VictimReplicationEngine):
+            stats.replicas_created = engine.replicas_created
+            stats.replica_hits = engine.replica_hits
+            stats.replica_invalidations = engine.replica_invalidations
+            stats.replica_evictions = engine.replica_evictions
+        return stats

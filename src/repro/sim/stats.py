@@ -1,0 +1,182 @@
+"""Statistics collected during a simulation run.
+
+These map one-to-one onto the paper's evaluation metrics (Section 4.4):
+
+* **completion time** decomposed into Compute, L1-to-L2, L2-waiting,
+  L2-to-sharers, L2-to-off-chip and Synchronization (Figure 9's stack);
+* **L1-D miss rate with miss-type breakdown** - Cold / Capacity / Upgrade /
+  Sharing / Word (Figure 10);
+* **dynamic energy breakdown** - L1-I / L1-D / L2 / Directory / Router /
+  Link (Figure 8's stack);
+* **utilization histograms** of invalidated and evicted lines
+  (Figures 1 and 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.statsutil import UTILIZATION_BUCKETS, bucket_percentages, utilization_bucket
+from repro.common.types import MissType
+from repro.energy.model import EnergyBreakdown
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-component cycles (the Figure 9 stack)."""
+
+    compute: float = 0.0
+    l1_to_l2: float = 0.0
+    l2_waiting: float = 0.0
+    l2_sharers: float = 0.0
+    l2_offchip: float = 0.0
+    sync: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.l1_to_l2
+            + self.l2_waiting
+            + self.l2_sharers
+            + self.l2_offchip
+            + self.sync
+        )
+
+    def add(self, other: "LatencyBreakdown") -> None:
+        self.compute += other.compute
+        self.l1_to_l2 += other.l1_to_l2
+        self.l2_waiting += other.l2_waiting
+        self.l2_sharers += other.l2_sharers
+        self.l2_offchip += other.l2_offchip
+        self.sync += other.sync
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            compute=self.compute * factor,
+            l1_to_l2=self.l1_to_l2 * factor,
+            l2_waiting=self.l2_waiting * factor,
+            l2_sharers=self.l2_sharers * factor,
+            l2_offchip=self.l2_offchip * factor,
+            sync=self.sync * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute": self.compute,
+            "l1_to_l2": self.l1_to_l2,
+            "l2_waiting": self.l2_waiting,
+            "l2_sharers": self.l2_sharers,
+            "l2_offchip": self.l2_offchip,
+            "sync": self.sync,
+            "total": self.total,
+        }
+
+
+class MissStats:
+    """L1-D access/hit/miss counts with per-type miss classification."""
+
+    __slots__ = ("hits", "_miss_counts")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self._miss_counts = [0] * len(MissType)
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self, miss_type: MissType) -> None:
+        self._miss_counts[miss_type] += 1
+
+    @property
+    def misses(self) -> int:
+        return sum(self._miss_counts)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def count(self, miss_type: MissType) -> int:
+        return self._miss_counts[miss_type]
+
+    def breakdown(self) -> dict[str, int]:
+        return {mt.name.lower(): self._miss_counts[mt] for mt in MissType}
+
+    def rate_breakdown(self) -> dict[str, float]:
+        """Per-type miss rate as a fraction of all L1-D accesses (Fig. 10)."""
+        total = self.accesses
+        if total == 0:
+            return {mt.name.lower(): 0.0 for mt in MissType}
+        return {mt.name.lower(): self._miss_counts[mt] / total for mt in MissType}
+
+
+class UtilizationHistogram:
+    """Counts of removed L1 lines bucketed by utilization (Figures 1-2)."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {b: 0 for b in UTILIZATION_BUCKETS}
+
+    def record(self, utilization: int) -> None:
+        if utilization < 1:
+            utilization = 1  # a line is used at least once (the filling access)
+        self.counts[utilization_bucket(utilization)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percentages(self) -> dict[str, float]:
+        return bucket_percentages(self.counts)
+
+
+@dataclass
+class RunStats:
+    """Everything measured by one simulation run."""
+
+    benchmark: str = ""
+    num_cores: int = 0
+    completion_time: float = 0.0  # max core finish time (cycles)
+    instructions: int = 0
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    miss: MissStats = field(default_factory=MissStats)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    inval_histogram: UtilizationHistogram = field(default_factory=UtilizationHistogram)
+    evict_histogram: UtilizationHistogram = field(default_factory=UtilizationHistogram)
+    # Protocol-level counters.
+    promotions: int = 0
+    demotions: int = 0
+    remote_accesses: int = 0
+    broadcast_invalidations: int = 0
+    unicast_invalidations: int = 0
+    dram_requests: int = 0
+    network_flits: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    # Victim-replication counters (protocol="victim" runs only).
+    replicas_created: int = 0
+    replica_hits: int = 0
+    replica_invalidations: int = 0
+    replica_evictions: int = 0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.miss.miss_rate
+
+    def summary(self) -> dict[str, float]:
+        """Compact scalar view used by the experiment harness."""
+        return {
+            "completion_time": self.completion_time,
+            "energy": self.energy.total,
+            "l1d_miss_rate": self.miss.miss_rate,
+            "instructions": self.instructions,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "remote_accesses": self.remote_accesses,
+        }

@@ -1,0 +1,37 @@
+"""Terminal-friendly chart rendering for figure reproductions.
+
+The paper's evaluation is communicated through stacked-bar figures (energy
+and completion-time breakdowns), grouped bars (classifier sensitivity) and
+line plots (the PCT U-curve).  This package renders all of those as plain
+text so examples and the CLI can show the *shape* of each figure without a
+plotting dependency:
+
+* :func:`bar_chart` - horizontal labelled bars;
+* :func:`stacked_bar_chart` - horizontal stacked bars with a legend
+  (Figures 8 and 9);
+* :func:`grouped_bar_chart` - several bars per category (Figures 13/14);
+* :func:`line_chart` - multi-series x/y plot on a character grid
+  (Figure 11);
+* :func:`sparkline` - one-line trend summary;
+* :class:`TextTable` - aligned column formatting with rules.
+
+Everything is deterministic, pure Python and width-bounded.
+"""
+
+from repro.viz.ascii import (
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    sparkline,
+    stacked_bar_chart,
+)
+from repro.viz.table import TextTable
+
+__all__ = [
+    "TextTable",
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "sparkline",
+    "stacked_bar_chart",
+]

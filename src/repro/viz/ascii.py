@@ -1,0 +1,264 @@
+"""ASCII chart primitives (bars, stacked bars, line plots, sparklines).
+
+All functions return a single string (no trailing newline) and never print;
+callers decide where the rendering goes.  Layout rules shared by every chart:
+
+* bar lengths are scaled to ``width`` characters for the *largest* value
+  (or an explicit ``max_value`` so that several charts share one scale);
+* labels are left-aligned in a gutter sized to the longest label;
+* values are appended after each bar so the text remains quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+#: Fill characters assigned to stacked/grouped series, in declaration order.
+SERIES_GLYPHS = "#*=+o%@~^&"
+
+#: Eight vertical resolution steps of a sparkline cell.
+_SPARK_LEVELS = " .:-=+*#"
+
+
+def _validate_width(width: int) -> None:
+    if width < 4:
+        raise ValueError(f"chart width must be >= 4 columns, got {width}")
+
+
+def _finite(values: Sequence[float], what: str) -> None:
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"{what} must be finite, got {v!r}")
+        if v < 0:
+            raise ValueError(f"{what} must be non-negative, got {v!r}")
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+# ----------------------------------------------------------------------
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: float | None = None,
+    title: str = "",
+) -> str:
+    """Render horizontal bars, one per (label, value) pair.
+
+    >>> print(bar_chart(["a", "b"], [2.0, 1.0], width=8))
+    a ######## 2.000
+    b ####     1.000
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    _validate_width(width)
+    _finite(values, "bar values")
+    scale_max = max(values) if max_value is None else max_value
+    if max_value is not None and max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    gutter = max(len(str(l)) for l in labels)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        cells = 0 if scale_max == 0 else round(width * value / scale_max)
+        cells = min(cells, width)
+        bar = "#" * cells + " " * (width - cells)
+        out.append(f"{str(label):<{gutter}} {bar} {_format_value(value)}")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def stacked_bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 48,
+    max_value: float | None = None,
+    title: str = "",
+) -> str:
+    """Render horizontal stacked bars (one glyph per series) with a legend.
+
+    ``series`` maps a component name to its per-label values; the stacks of
+    Figures 8/9 (energy and time components per PCT) render directly.
+    """
+    if not labels:
+        raise ValueError("stacked_bar_chart needs at least one bar")
+    if not series:
+        raise ValueError("stacked_bar_chart needs at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported, got {len(series)}")
+    _validate_width(width)
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} values for {len(labels)} labels"
+            )
+        _finite(series[name], f"series {name!r}")
+    totals = [sum(series[name][i] for name in names) for i in range(len(labels))]
+    scale_max = max(totals) if max_value is None else max_value
+    if scale_max <= 0:
+        scale_max = 1.0
+    gutter = max(len(str(l)) for l in labels)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    legend = "  ".join(f"{SERIES_GLYPHS[i]}={name}" for i, name in enumerate(names))
+    out.append(f"legend: {legend}")
+    for i, label in enumerate(labels):
+        segments: list[str] = []
+        used = 0
+        for s, name in enumerate(names):
+            share = series[name][i] / scale_max
+            cells = round(width * share)
+            cells = min(cells, width - used)
+            segments.append(SERIES_GLYPHS[s] * cells)
+            used += cells
+        bar = "".join(segments) + " " * (width - used)
+        out.append(f"{str(label):<{gutter}} {bar} {_format_value(totals[i])}")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render one bar per (category, series) pair, grouped by category.
+
+    Matches the layout of Figures 13/14: each benchmark (category) shows one
+    bar per configuration (series), all on a shared scale.
+    """
+    if not categories:
+        raise ValueError("grouped_bar_chart needs at least one category")
+    if not series:
+        raise ValueError("grouped_bar_chart needs at least one series")
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} values for "
+                f"{len(categories)} categories"
+            )
+        _finite(series[name], f"series {name!r}")
+    _validate_width(width)
+    scale_max = max(max(series[name]) for name in names)
+    gutter = max(len(str(n)) for n in names)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for i, category in enumerate(categories):
+        out.append(f"{category}:")
+        for name in names:
+            value = series[name][i]
+            cells = 0 if scale_max == 0 else min(width, round(width * value / scale_max))
+            out.append(f"  {name:<{gutter}} {'#' * cells:<{width}} {_format_value(value)}")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot one or more y-series against shared x values on a text grid.
+
+    Each series is drawn with its own glyph; collisions show the glyph of
+    the *later* series.  The y-axis is annotated with min/max, the x-axis
+    with the first/last x value.  Used for the Figure 11 U-curve.
+    """
+    if len(x) < 2:
+        raise ValueError("line_chart needs at least two x points")
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+    if height < 3:
+        raise ValueError(f"height must be >= 3 rows, got {height}")
+    _validate_width(width)
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x):
+            raise ValueError(f"series {name!r} length {len(series[name])} != {len(x)} x points")
+    xs = list(x)
+    if sorted(xs) != xs:
+        raise ValueError("x values must be nondecreasing")
+
+    all_y = [v for name in names for v in series[name]]
+    y_min, y_max = min(all_y), max(all_y)
+    if not (math.isfinite(y_min) and math.isfinite(y_max)):
+        raise ValueError("series values must be finite")
+    y_span = (y_max - y_min) or 1.0
+    x_span = (xs[-1] - xs[0]) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s, name in enumerate(names):
+        glyph = SERIES_GLYPHS[s]
+        cols: list[tuple[int, int]] = []
+        for xv, yv in zip(xs, series[name]):
+            col = round((xv - xs[0]) / x_span * (width - 1))
+            row = round((y_max - yv) / y_span * (height - 1))
+            cols.append((col, row))
+        # Connect consecutive points with vertical interpolation so the
+        # curve shape reads even with few x samples.
+        for (c0, r0), (c1, r1) in zip(cols, cols[1:]):
+            span = max(1, c1 - c0)
+            for c in range(c0, c1 + 1):
+                frac = (c - c0) / span
+                r = round(r0 + (r1 - r0) * frac)
+                grid[r][c] = glyph
+        for c, r in cols:
+            grid[r][c] = glyph
+
+    y_labels = [_format_value(y_max), _format_value(y_min)]
+    gutter = max(len(l) for l in y_labels)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append("legend: " + "  ".join(f"{SERIES_GLYPHS[i]}={n}" for i, n in enumerate(names)))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_labels[0]
+        elif r == height - 1:
+            label = y_labels[1]
+        else:
+            label = ""
+        out.append(f"{label:>{gutter}} |{''.join(row)}")
+    x_axis = f"{'':>{gutter}} +{'-' * width}"
+    out.append(x_axis)
+    left, right = _format_value(xs[0]), _format_value(xs[-1])
+    pad = width - len(left) - len(right)
+    out.append(f"{'':>{gutter}}  {left}{' ' * max(1, pad)}{right}")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def sparkline(values: Sequence[float]) -> str:
+    """One-character-per-value trend line (8 vertical levels).
+
+    >>> sparkline([0, 1, 2, 3])
+    ' .=#'
+    """
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    _finite(values, "sparkline values")
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    steps = len(_SPARK_LEVELS) - 1
+    return "".join(_SPARK_LEVELS[round((v - lo) / span * steps)] for v in values)

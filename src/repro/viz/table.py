@@ -1,0 +1,104 @@
+"""Aligned text tables with typed columns.
+
+``TextTable`` complements the ad-hoc f-string layouts in
+``repro.experiments.figures`` for user-facing output: columns declare an
+alignment and an optional float format once, rows are appended as plain
+values, and rendering handles widths, rules and a footer row (used for the
+geomean summaries that close most figures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class TextTable:
+    """Column-aligned table renderer.
+
+    >>> t = TextTable(["name", "time"], aligns=["<", ">"], formats=[None, ".3f"])
+    >>> t.add_row(["radix", 1.0])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    name   time
+    -----  -----
+    radix  1.000
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        aligns: Sequence[str] | None = None,
+        formats: Sequence[str | None] | None = None,
+        padding: int = 2,
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        n = len(self.columns)
+        self.aligns = list(aligns) if aligns is not None else ["<"] + [">"] * (n - 1)
+        self.formats = list(formats) if formats is not None else [None] * n
+        if len(self.aligns) != n:
+            raise ValueError(f"{len(self.aligns)} aligns for {n} columns")
+        if len(self.formats) != n:
+            raise ValueError(f"{len(self.formats)} formats for {n} columns")
+        for a in self.aligns:
+            if a not in ("<", ">", "^"):
+                raise ValueError(f"alignment must be one of < > ^, got {a!r}")
+        if padding < 1:
+            raise ValueError(f"padding must be >= 1, got {padding}")
+        self.padding = padding
+        self._rows: list[list[str]] = []
+        self._footer: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    def _format_cell(self, value, fmt: str | None) -> str:
+        if value is None:
+            return "-"
+        if fmt is not None and isinstance(value, (int, float)):
+            return format(value, fmt)
+        return str(value)
+
+    def _format_row(self, values: Sequence) -> list[str]:
+        if len(values) != len(self.columns):
+            raise ValueError(f"row has {len(values)} cells, table has {len(self.columns)} columns")
+        return [self._format_cell(v, f) for v, f in zip(values, self.formats)]
+
+    def add_row(self, values: Sequence) -> None:
+        """Append one data row (values are formatted per-column)."""
+        self._rows.append(self._format_row(values))
+
+    def set_footer(self, values: Sequence) -> None:
+        """Set the summary row rendered below a rule (e.g. geomean)."""
+        self._footer = self._format_row(values)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the table; raises if no rows were added."""
+        if not self._rows and self._footer is None:
+            raise ValueError("cannot render an empty table")
+        all_rows = list(self._rows)
+        if self._footer is not None:
+            all_rows.append(self._footer)
+        widths = [
+            max(len(self.columns[i]), max(len(r[i]) for r in all_rows))
+            for i in range(len(self.columns))
+        ]
+        gap = " " * self.padding
+
+        def line(cells: Sequence[str]) -> str:
+            return gap.join(
+                f"{c:{a}{w}}" for c, a, w in zip(cells, self.aligns, widths)
+            ).rstrip()
+
+        out = [line(self.columns), gap.join("-" * w for w in widths)]
+        out.extend(line(r) for r in self._rows)
+        if self._footer is not None:
+            out.append(gap.join("-" * w for w in widths))
+            out.append(line(self._footer))
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,22 @@
+"""The 21 benchmark workloads of Table 2 as deterministic trace generators."""
+
+from repro.workloads.base import AddressSpace, ThreadProgram, Trace, TraceBuilder
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    load_workload,
+)
+
+__all__ = [
+    "AddressSpace",
+    "ThreadProgram",
+    "Trace",
+    "TraceBuilder",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "get_workload",
+    "load_workload",
+]

@@ -1,0 +1,228 @@
+"""Workload trace framework.
+
+The paper drives its evaluation with 21 parallel benchmarks executed on the
+Graphite simulator.  We reproduce each benchmark as a *trace generator*: a
+deterministic kernel that performs the same algorithmic skeleton (blocked LU,
+radix-sort phases, label propagation, k-median rounds, ...) against a
+simulated shared address space and records, per thread:
+
+* READ/WRITE references (byte addresses),
+* interleaved compute (``work`` cycles between references),
+* synchronization (barriers and locks).
+
+The coherence protocol only ever observes this reference stream, so
+preserving the *access pattern* (sharing degree, per-line reuse, working-set
+pressure, read/write mix) preserves everything the locality classifier
+reacts to.
+
+Conventions:
+
+* every thread participates in every barrier, in the same order;
+* lock/unlock pairs are balanced per thread;
+* private per-thread data is allocated on thread-specific pages so R-NUCA
+  classifies it private; shared structures live on shared pages.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.errors import TraceError
+from repro.common.types import Op
+
+#: Trace records are plain tuples for speed: (op, address, work_before).
+TraceRecord = tuple[int, int, int]
+
+
+class Trace:
+    """An immutable multithreaded memory-access trace."""
+
+    def __init__(self, name: str, num_cores: int, per_core: list[list[TraceRecord]]) -> None:
+        if len(per_core) != num_cores:
+            raise TraceError(
+                f"trace {name!r} has {len(per_core)} streams for {num_cores} cores"
+            )
+        self.name = name
+        self.num_cores = num_cores
+        self.per_core = per_core
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        barrier_seqs: list[tuple[int, ...]] = []
+        for tid, stream in enumerate(self.per_core):
+            barriers: list[int] = []
+            lock_depth: dict[int, int] = {}
+            for op, address, work in stream:
+                if work < 0:
+                    raise TraceError(f"thread {tid}: negative work {work}")
+                if address < 0 or address > addrmod.MAX_ADDRESS:
+                    raise TraceError(f"thread {tid}: address {address:#x} out of range")
+                if op == Op.BARRIER:
+                    barriers.append(address)
+                elif op == Op.LOCK:
+                    lock_depth[address] = lock_depth.get(address, 0) + 1
+                elif op == Op.UNLOCK:
+                    depth = lock_depth.get(address, 0) - 1
+                    if depth < 0:
+                        raise TraceError(f"thread {tid}: unlock of free lock {address}")
+                    lock_depth[address] = depth
+                elif op not in (Op.READ, Op.WRITE, Op.WORK):
+                    raise TraceError(f"thread {tid}: unknown opcode {op}")
+            if any(depth != 0 for depth in lock_depth.values()):
+                raise TraceError(f"thread {tid}: unbalanced lock/unlock")
+            barrier_seqs.append(tuple(barriers))
+        if len(set(barrier_seqs)) > 1:
+            raise TraceError(
+                f"trace {self.name!r}: threads disagree on barrier sequence "
+                f"(every thread must hit every barrier, in order)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_records(self) -> int:
+        return sum(len(stream) for stream in self.per_core)
+
+    @property
+    def memory_accesses(self) -> int:
+        return sum(
+            1 for stream in self.per_core for op, _, _ in stream if op in (Op.READ, Op.WRITE)
+        )
+
+    @property
+    def instructions(self) -> int:
+        """Total dynamic instructions: one per record plus its work cycles."""
+        return sum(
+            work + (1 if op != Op.WORK else 0)
+            for stream in self.per_core
+            for op, _, work in stream
+        )
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines touched (working-set proxy)."""
+        lines = {
+            address >> addrmod.LINE_BITS
+            for stream in self.per_core
+            for op, address, _ in stream
+            if op in (Op.READ, Op.WRITE)
+        }
+        return len(lines)
+
+
+class AddressSpace:
+    """Page-aligned bump allocator for workload data structures.
+
+    Allocations are page aligned so R-NUCA's page-granularity classification
+    sees clean private/shared boundaries.  The base is placed high enough to
+    stay clear of address 0 (which reads as zero-initialized memory anyway).
+    """
+
+    _BASE = 1 << 30
+
+    def __init__(self, page_size: int = addrmod.DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._next = self._BASE
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, nbytes: int) -> int:
+        """Reserve ``nbytes`` on fresh pages; return the base address."""
+        if nbytes <= 0:
+            raise TraceError(f"allocation {name!r} must be positive, got {nbytes}")
+        if name in self.regions:
+            raise TraceError(f"duplicate allocation {name!r}")
+        base = addrmod.align_up(self._next, self.page_size)
+        self._next = base + nbytes
+        self.regions[name] = (base, nbytes)
+        return base
+
+    def alloc_words(self, name: str, nwords: int) -> int:
+        return self.alloc(name, nwords * addrmod.WORD_SIZE)
+
+
+class ThreadProgram:
+    """Per-thread trace recorder handed to workload kernels."""
+
+    __slots__ = ("tid", "_records", "_pending_work")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self._records: list[TraceRecord] = []
+        self._pending_work = 0
+
+    # ------------------------------------------------------------------
+    def work(self, cycles: int) -> None:
+        """Execute ``cycles`` of pure compute before the next reference."""
+        if cycles < 0:
+            raise TraceError(f"negative work {cycles}")
+        self._pending_work += cycles
+
+    def read(self, address: int) -> None:
+        self._records.append((Op.READ, address, self._pending_work))
+        self._pending_work = 0
+
+    def write(self, address: int) -> None:
+        self._records.append((Op.WRITE, address, self._pending_work))
+        self._pending_work = 0
+
+    def read_words(self, base: int, count: int, stride_words: int = 1) -> None:
+        """Read ``count`` words starting at ``base`` (stride in words)."""
+        step = stride_words * addrmod.WORD_SIZE
+        address = base
+        append = self._records.append
+        for _ in range(count):
+            append((Op.READ, address, self._pending_work))
+            self._pending_work = 0
+            address += step
+
+    def write_words(self, base: int, count: int, stride_words: int = 1) -> None:
+        step = stride_words * addrmod.WORD_SIZE
+        address = base
+        append = self._records.append
+        for _ in range(count):
+            append((Op.WRITE, address, self._pending_work))
+            self._pending_work = 0
+            address += step
+
+    def lock(self, lock_id: int) -> None:
+        self._records.append((Op.LOCK, lock_id, self._pending_work))
+        self._pending_work = 0
+
+    def unlock(self, lock_id: int) -> None:
+        self._records.append((Op.UNLOCK, lock_id, self._pending_work))
+        self._pending_work = 0
+
+    def _barrier(self, barrier_id: int) -> None:
+        self._records.append((Op.BARRIER, barrier_id, self._pending_work))
+        self._pending_work = 0
+
+    def _finish(self) -> list[TraceRecord]:
+        if self._pending_work:
+            self._records.append((Op.WORK, 0, self._pending_work))
+            self._pending_work = 0
+        return self._records
+
+
+class TraceBuilder:
+    """Builds a validated ``Trace`` from per-thread programs."""
+
+    def __init__(self, name: str, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise TraceError(f"num_cores must be positive, got {num_cores}")
+        self.name = name
+        self.num_cores = num_cores
+        self.threads = [ThreadProgram(tid) for tid in range(num_cores)]
+        self.address_space = AddressSpace()
+        self._next_barrier = 0
+
+    def thread(self, tid: int) -> ThreadProgram:
+        return self.threads[tid]
+
+    def barrier_all(self) -> None:
+        """Emit one barrier that every thread participates in."""
+        barrier_id = self._next_barrier
+        self._next_barrier += 1
+        for program in self.threads:
+            program._barrier(barrier_id)
+
+    def build(self) -> Trace:
+        per_core = [program._finish() for program in self.threads]
+        return Trace(self.name, self.num_cores, per_core)

@@ -1,0 +1,128 @@
+"""tsp, dfs and matrix-multiply workload kernels (Table 2)."""
+
+from __future__ import annotations
+
+from repro.common.params import ArchConfig
+from repro.common.rng import make_rng
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import LINE, chunk_range, hot_loop, line_visit, stream_scan
+
+
+def build_tsp(
+    arch: ArchConfig,
+    expansions_per_thread: int = 72,
+    update_period: int = 9,
+) -> Trace:
+    """Travelling salesman branch-and-bound (Table 2: 16 cities).
+
+    Every node expansion reads the shared best-bound line; improving threads
+    rewrite it, invalidating all 63 other readers (an ACKwise broadcast
+    storm at baseline).  Readers accumulate only 1-2 uses between updates,
+    so the adaptive protocol pins the bound at its home slice and converts
+    the invalidation storms into word reads - the paper's L2-to-sharers
+    latency win.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("tsp", n)
+    bound = tb.address_space.alloc("bound", LINE)
+    stacks = [tb.address_space.alloc(f"stack{t}", 12 * LINE) for t in range(n)]
+
+    for tid in range(n):
+        tp = tb.thread(tid)
+        rng = make_rng("tsp", tid)
+        for step in range(expansions_per_thread):
+            tp.work(5)
+            tp.read(bound)  # prune check on every expansion
+            # Private tour stack: push/pop with high reuse.
+            line_visit(tp, stacks[tid] + (step % 12) * LINE, uses=6,
+                       write_fraction=0.5, rng=rng, work_per_use=4)
+            if step % update_period == (tid % update_period):
+                tp.lock(0)
+                tp.read(bound)
+                tp.write(bound)  # new incumbent: invalidates all readers
+                tp.unlock(0)
+    tb.barrier_all()
+    return tb.build()
+
+
+def build_dfs(
+    arch: ArchConfig,
+    nodes_per_thread: int = 120,
+    visited_lines: int = 2048,
+    steal_period: int = 24,
+) -> Trace:
+    """Parallel depth-first search with work stealing (Table 2: 876800 nodes).
+
+    The private DFS stack is hot; the shared visited array takes one write
+    and a few scattered reads per node (write-once, utilization 1); work
+    stealing synchronizes through a lock-protected counter.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("dfs", n)
+    visited = tb.address_space.alloc("visited", visited_lines * LINE)
+    stacks = [tb.address_space.alloc(f"stack{t}", 8 * LINE) for t in range(n)]
+    steal_counter = tb.address_space.alloc("steal", LINE)
+
+    for tid in range(n):
+        tp = tb.thread(tid)
+        rng = make_rng("dfs", tid)
+        node = rng.randrange(visited_lines)
+        for step in range(nodes_per_thread):
+            line_visit(tp, stacks[tid] + (step % 8) * LINE, uses=6,
+                       write_fraction=0.5, rng=rng, work_per_use=5)
+            if rng.random() >= 0.4:
+                node = rng.randrange(visited_lines)
+            tp.work(10)
+            tp.read(visited + node * LINE)  # already visited?
+            tp.write(visited + node * LINE)  # mark
+            if step % steal_period == steal_period - 1:
+                tp.lock(0)
+                tp.read(steal_counter)
+                tp.write(steal_counter)
+                tp.unlock(0)
+    tb.barrier_all()
+    return tb.build()
+
+
+def build_matmul(
+    arch: ArchConfig,
+    blocks_per_dim: int = 12,
+    block_lines: int = 6,
+    a_uses: int = 4,
+    b_uses: int = 1,
+    c_uses: int = 3,
+) -> Trace:
+    """Blocked matrix multiply (Table 2: 512x512).
+
+    C(i,j) += A(i,k) * B(k,j): each thread owns a row segment of C blocks,
+    so its A row panel is re-read for every owned j (capacity revisits) while
+    the shared B column panels are streamed once per (core, block) - the
+    low-utilization offenders that pollute the L1 at PCT=1 and convert to
+    word accesses under the adaptive protocol.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("matmul", n)
+    a_blocks: dict[tuple[int, int], int] = {}
+    b_blocks: dict[tuple[int, int], int] = {}
+    c_blocks: dict[tuple[int, int], int] = {}
+    for i in range(blocks_per_dim):
+        for k in range(blocks_per_dim):
+            a_blocks[(i, k)] = tb.address_space.alloc(f"A{i}_{k}", block_lines * LINE)
+            b_blocks[(i, k)] = tb.address_space.alloc(f"B{i}_{k}", block_lines * LINE)
+            c_blocks[(i, k)] = tb.address_space.alloc(f"C{i}_{k}", block_lines * LINE)
+
+    total_blocks = blocks_per_dim * blocks_per_dim
+    for tid in range(n):
+        tp = tb.thread(tid)
+        rng = make_rng("matmul", tid)
+        for flat in chunk_range(total_blocks, n, tid):
+            i, j = divmod(flat, blocks_per_dim)
+            for k in range(blocks_per_dim):
+                stream_scan(tp, a_blocks[(i, k)], block_lines, uses_per_line=a_uses,
+                            work_per_use=8)
+                stream_scan(tp, b_blocks[(k, j)], block_lines, uses_per_line=b_uses,
+                            work_per_use=8)
+                stream_scan(tp, c_blocks[(i, j)], block_lines, uses_per_line=c_uses,
+                            write_fraction=0.5, rng=rng, work_per_use=8)
+    tb.barrier_all()
+    return tb.build()

@@ -1,0 +1,289 @@
+"""SPLASH-2 workload kernels (Table 2).
+
+Each kernel reproduces the *memory-reference skeleton* of its namesake:
+the phase structure, sharing pattern and per-line utilization profile that
+the locality classifier reacts to.  Problem sizes are scaled from Table 2
+(see the registry) so a pure-Python simulation completes; DESIGN.md
+documents the substitution.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import ArchConfig
+from repro.common.rng import make_rng
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import LINE, chunk_range, hot_loop, line_visit, stream_scan
+
+
+def build_radix(
+    arch: ArchConfig,
+    keys_per_thread: int = 256,
+    bucket_lines: int = 4,
+    passes: int = 2,
+) -> Trace:
+    """Parallel radix sort (Table 2: 1M integers, radix 1024).
+
+    Three phases per digit pass: local histogram build (private, high
+    reuse), global prefix over all threads' histograms (shared, read-once),
+    and permutation writes scattered over a shared output array (write-once
+    lines - the classic low-utilization sharing pattern).
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("radix", n)
+    key_lines = max(1, keys_per_thread // 8)
+    keys = [tb.address_space.alloc(f"keys{t}", key_lines * LINE) for t in range(n)]
+    hists = [tb.address_space.alloc(f"hist{t}", bucket_lines * LINE) for t in range(n)]
+    output = tb.address_space.alloc("output", n * key_lines * LINE)
+
+    for pass_index in range(passes):
+        # Phase 1: local histogram (read own keys once, hot histogram).
+        for tid in range(n):
+            tp = tb.thread(tid)
+            stream_scan(tp, keys[tid], key_lines, uses_per_line=4, work_per_use=6)
+            hot_loop(tp, hists[tid], bucket_lines, passes=6, write_fraction=0.5,
+                     rng=make_rng("radix", pass_index, tid, "hist"), work_per_use=4)
+        tb.barrier_all()
+        # Phase 2: global prefix - each thread reads one line of every other
+        # thread's histogram exactly once (utilization 1..2).
+        for tid in range(n):
+            tp = tb.thread(tid)
+            target_line = (tid + pass_index) % bucket_lines
+            for other in range(n):
+                if other != tid:
+                    line_visit(tp, hists[other] + target_line * LINE, uses=1, work_per_use=8)
+        tb.barrier_all()
+        # Phase 3: permute into the shared output array (scattered writes).
+        for tid in range(n):
+            tp = tb.thread(tid)
+            rng = make_rng("radix", pass_index, tid, "permute")
+            stream_scan(tp, keys[tid], key_lines, uses_per_line=4, work_per_use=6)
+            for _ in range(key_lines):
+                target = rng.randrange(n * key_lines)
+                line_visit(tp, output + target * LINE, uses=6, write_fraction=1.0,
+                           rng=rng, work_per_use=4)
+        tb.barrier_all()
+    return tb.build()
+
+
+def build_lu(
+    arch: ArchConfig,
+    num_blocks: int = 14,
+    block_lines: int = 8,
+    update_uses: int = 3,
+) -> Trace:
+    """Blocked LU decomposition, non-contiguous blocks (Table 2: 512x512).
+
+    Classic right-looking factorization: the diagonal-block owner
+    factorizes (high reuse), perimeter owners stream the diagonal block
+    (moderate reuse), interior owners stream two perimeter blocks and update
+    their own blocks.  Each thread owns several interior blocks whose lines
+    are revisited every round with utilization right at the PCT boundary
+    (~3) - which is why lu-nc's completion time degrades past PCT 3 in the
+    paper while its energy still improves.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("lu-nc", n)
+    blocks: dict[tuple[int, int], int] = {}
+    for i in range(num_blocks):
+        for j in range(num_blocks):
+            blocks[(i, j)] = tb.address_space.alloc(f"blk{i}_{j}", block_lines * LINE)
+
+    def owner(i: int, j: int) -> int:
+        return (i * num_blocks + j) % n
+
+    for k in range(num_blocks):
+        diag_owner = owner(k, k)
+        tp = tb.thread(diag_owner)
+        hot_loop(tp, blocks[(k, k)], block_lines, passes=3, write_fraction=0.4,
+                 rng=make_rng("lu", k, "diag"), work_per_use=8)
+        tb.barrier_all()
+        # Perimeter update: row k and column k blocks past the diagonal.
+        for m in range(k + 1, num_blocks):
+            for (bi, bj) in ((k, m), (m, k)):
+                tp = tb.thread(owner(bi, bj))
+                stream_scan(tp, blocks[(k, k)], block_lines, uses_per_line=2, work_per_use=8)
+                stream_scan(tp, blocks[(bi, bj)], block_lines, uses_per_line=update_uses,
+                            write_fraction=0.5, rng=make_rng("lu", k, bi, bj),
+                            work_per_use=8)
+        tb.barrier_all()
+        # Interior update: trailing submatrix.
+        for bi in range(k + 1, num_blocks):
+            for bj in range(k + 1, num_blocks):
+                tp = tb.thread(owner(bi, bj))
+                stream_scan(tp, blocks[(bi, k)], block_lines, uses_per_line=2, work_per_use=8)
+                stream_scan(tp, blocks[(k, bj)], block_lines, uses_per_line=2, work_per_use=8)
+                dense = update_uses + 2 if (bi + bj) % 2 else update_uses
+                stream_scan(tp, blocks[(bi, bj)], block_lines, uses_per_line=dense,
+                            write_fraction=0.5, rng=make_rng("lu", k, bi, bj, "upd"),
+                            work_per_use=8)
+        tb.barrier_all()
+    return tb.build()
+
+
+def build_barnes(
+    arch: ArchConfig,
+    bodies_per_thread: int = 24,
+    tree_lines: int = 340,
+    iterations: int = 2,
+) -> Trace:
+    """Barnes-Hut N-body (Table 2: 16K particles).
+
+    Force computation walks a shared octree: the root/top levels are read by
+    every body of every thread (very high utilization - they stay private),
+    deep nodes are touched once or twice per walk (low utilization).  Body
+    state is thread-private with high reuse.  Tree build updates leaf nodes
+    under coarse locks.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("barnes", n)
+    tree = tb.address_space.alloc("tree", tree_lines * LINE)
+    bodies = [tb.address_space.alloc(f"bodies{t}", max(1, bodies_per_thread // 2) * LINE)
+              for t in range(n)]
+    top_lines = max(1, tree_lines // 64)
+    mid_lines = max(1, tree_lines // 8)
+    body_lines = max(1, bodies_per_thread // 2)
+
+    for it in range(iterations):
+        # Tree build: each thread inserts its bodies (leaf writes under lock).
+        for tid in range(n):
+            tp = tb.thread(tid)
+            rng = make_rng("barnes", it, tid, "build")
+            for _ in range(max(1, bodies_per_thread // 4)):
+                lock_id = rng.randrange(4)
+                tp.lock(lock_id)
+                leaf = mid_lines + rng.randrange(tree_lines - mid_lines)
+                line_visit(tp, tree + leaf * LINE, uses=2, write_fraction=0.5, rng=rng,
+                           work_per_use=8)
+                tp.unlock(lock_id)
+        tb.barrier_all()
+        # Force phase: walk root -> mid -> leaves for every body.
+        for tid in range(n):
+            tp = tb.thread(tid)
+            rng = make_rng("barnes", it, tid, "force")
+            for b in range(bodies_per_thread):
+                line_visit(tp, tree + (b % top_lines) * LINE, uses=2, work_per_use=10)
+                mid = top_lines + rng.randrange(mid_lines)
+                line_visit(tp, tree + mid * LINE, uses=2, work_per_use=10)
+                leaf = mid_lines + rng.randrange(tree_lines - mid_lines)
+                leaf_uses = 1 if rng.random() < 0.5 else 4
+                line_visit(tp, tree + leaf * LINE, uses=leaf_uses, work_per_use=10)
+                line_visit(tp, bodies[tid] + (b % body_lines) * LINE, uses=2,
+                           write_fraction=0.5, rng=rng, work_per_use=8)
+        tb.barrier_all()
+    return tb.build()
+
+
+def build_ocean(
+    arch: ArchConfig,
+    rows_per_thread: int = 12,
+    lines_per_row: int = 6,
+    iterations: int = 3,
+) -> Trace:
+    """Ocean simulation, non-contiguous partitions (Table 2: 258x258 grid).
+
+    Red-black stencil sweeps over a row-partitioned grid: interior rows are
+    thread-private streams (capacity pressure), boundary rows are written by
+    the owner every iteration and read by the neighbour - low-utilization
+    sharing misses that the adaptive protocol converts to word accesses.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("ocean-nc", n)
+    region_lines = rows_per_thread * lines_per_row
+    regions = [tb.address_space.alloc(f"rows{t}", region_lines * LINE) for t in range(n)]
+
+    for it in range(iterations):
+        for tid in range(n):
+            tp = tb.thread(tid)
+            rng = make_rng("ocean", it, tid)
+            # Own rows: stencil read-modify-write, moderate reuse.
+            half = region_lines // 2
+            stream_scan(tp, regions[tid], half, uses_per_line=5,
+                        write_fraction=0.35, rng=rng, work_per_use=5)
+            stream_scan(tp, regions[tid], region_lines - half, uses_per_line=3,
+                        write_fraction=0.35, rng=rng, work_per_use=5,
+                        start_line=half)
+            # Neighbour boundary rows: read the adjacent threads' edge rows.
+            for neighbour, edge_row in ((tid - 1) % n, rows_per_thread - 1), ((tid + 1) % n, 0):
+                stream_scan(tp, regions[neighbour], lines_per_row, uses_per_line=1,
+                            start_line=edge_row * lines_per_row, work_per_use=8)
+        tb.barrier_all()
+    return tb.build()
+
+
+def build_water_spatial(
+    arch: ArchConfig,
+    molecule_lines: int = 20,
+    iterations: int = 18,
+) -> Trace:
+    """Water-spatial (Table 2: 512 molecules).
+
+    The per-thread molecule set fits comfortably in the L1: almost every
+    reference hits, utilization is enormous and the protocol is insensitive
+    to PCT (the paper's low-miss-rate anchor at ~0.2%).
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("water-sp", n)
+    molecules = [tb.address_space.alloc(f"mol{t}", molecule_lines * LINE) for t in range(n)]
+    partials = tb.address_space.alloc("partials", max(1, n // 8) * LINE)
+
+    for it in range(iterations):
+        for tid in range(n):
+            tp = tb.thread(tid)
+            rng = make_rng("water", it, tid)
+            stream_scan(tp, molecules[tid], molecule_lines, uses_per_line=3,
+                        write_fraction=0.3, rng=rng, work_per_use=6)
+    # Contention-free reduction: each thread writes its own partial-sum slot
+    # and thread 0 sums them after the barrier.
+    for tid in range(n):
+        tb.thread(tid).write(partials + tid * 8)
+    tb.barrier_all()
+    summer = tb.thread(0)
+    summer.read_words(partials, n)
+    tb.barrier_all()
+    return tb.build()
+
+
+def build_raytrace(
+    arch: ArchConfig,
+    rays_per_thread: int = 48,
+    bvh_top_lines: int = 4,
+    bvh_mid_lines: int = 48,
+    primitive_lines: int = 1024,
+) -> Trace:
+    """Raytrace (Table 2: car scene).
+
+    Each ray walks the shared BVH: hot top levels, once-touched primitives.
+    The private framebuffer is written sequentially (8 words per line, high
+    write utilization) and a work queue is balanced under a lock.
+    """
+    n = arch.num_cores
+    tb = TraceBuilder("raytrace", n)
+    bvh = tb.address_space.alloc("bvh", (bvh_top_lines + bvh_mid_lines) * LINE)
+    primitives = tb.address_space.alloc("primitives", primitive_lines * LINE)
+    framebuffers = [
+        tb.address_space.alloc(f"fb{t}", max(1, rays_per_thread // 8) * LINE)
+        for t in range(n)
+    ]
+    queue_line = tb.address_space.alloc("workqueue", LINE)
+
+    for tid in range(n):
+        tp = tb.thread(tid)
+        rng = make_rng("raytrace", tid)
+        for ray in range(rays_per_thread):
+            if ray % 16 == 0:  # grab a work chunk
+                tp.lock(0)
+                tp.read(queue_line)
+                tp.write(queue_line)
+                tp.unlock(0)
+            line_visit(tp, bvh + (ray % bvh_top_lines) * LINE, uses=2, work_per_use=10)
+            mid = bvh_top_lines + rng.randrange(bvh_mid_lines)
+            line_visit(tp, bvh + mid * LINE, uses=2, work_per_use=10)
+            if rng.random() < 0.6:
+                prim = rng.randrange(max(1, primitive_lines // 8))
+            else:
+                prim = rng.randrange(primitive_lines)
+            line_visit(tp, primitives + prim * LINE, uses=1, work_per_use=12)
+            tp.work(10)
+            tp.write(framebuffers[tid] + ray * 8)  # one word per ray, sequential
+    tb.barrier_all()
+    return tb.build()

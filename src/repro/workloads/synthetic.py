@@ -1,0 +1,223 @@
+"""Parameterized synthetic access patterns (beyond the Table-2 kernels).
+
+The 21 named workloads reproduce the paper's benchmarks; this module exposes
+the *primitive* sharing patterns that coherence-protocol studies stress, as
+a public API for downstream experiments:
+
+* :func:`uniform_random` - uncorrelated reads/writes over a shared region
+  (worst case for any locality predictor);
+* :func:`hotspot` - a small hot set absorbing most references over a large
+  cold tail (the classifier should split them at the PCT boundary);
+* :func:`streaming` - every core scans a large shared array once per round
+  (pure capacity pressure: the protocol's word-conversion sweet spot);
+* :func:`producer_consumer` - paired cores hand a buffer back and forth
+  (sharing misses; invalidation-round stress);
+* :func:`migratory` - a lock-protected object read-modified-written by
+  every core in turn (the classic migratory-sharing pattern).
+
+All generators are deterministic in ``seed`` and return validated
+:class:`~repro.workloads.base.Trace` objects runnable on any
+:class:`~repro.sim.multicore.Simulator`.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.errors import TraceError
+from repro.common.rng import make_rng
+from repro.workloads.base import Trace, TraceBuilder
+
+LINE = addrmod.LINE_SIZE
+
+
+def _require_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise TraceError(f"{name} must be positive, got {value}")
+
+
+# ----------------------------------------------------------------------
+def uniform_random(
+    num_cores: int,
+    lines: int = 2048,
+    accesses_per_core: int = 2000,
+    write_fraction: float = 0.2,
+    seed: int = 0,
+) -> Trace:
+    """Uncorrelated accesses over one shared region.
+
+    With no spatio-temporal structure, most lines see low per-core
+    utilization: the adaptive protocol should demote aggressively.
+    """
+    _require_positive(num_cores=num_cores, lines=lines, accesses_per_core=accesses_per_core)
+    if not 0.0 <= write_fraction <= 1.0:
+        raise TraceError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    builder = TraceBuilder("synthetic-uniform", num_cores)
+    region = builder.address_space.alloc("region", lines * LINE)
+    for tid in range(num_cores):
+        rng = make_rng("uniform", seed, tid)
+        thread = builder.thread(tid)
+        for _ in range(accesses_per_core):
+            address = region + rng.randrange(lines) * LINE
+            thread.work(2)
+            if rng.random() < write_fraction:
+                thread.write(address)
+            else:
+                thread.read(address)
+    builder.barrier_all()
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+def hotspot(
+    num_cores: int,
+    hot_lines: int = 16,
+    cold_lines: int = 4096,
+    accesses_per_core: int = 2000,
+    hot_fraction: float = 0.8,
+    write_fraction: float = 0.1,
+    seed: int = 0,
+) -> Trace:
+    """A small hot set over a large cold tail (80/20-style skew).
+
+    The classifier's job is to keep the hot set private (utilization well
+    above PCT) while demoting the cold tail to remote word access.
+    """
+    _require_positive(
+        num_cores=num_cores,
+        hot_lines=hot_lines,
+        cold_lines=cold_lines,
+        accesses_per_core=accesses_per_core,
+    )
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise TraceError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    builder = TraceBuilder("synthetic-hotspot", num_cores)
+    hot = builder.address_space.alloc("hot", hot_lines * LINE)
+    cold = builder.address_space.alloc("cold", cold_lines * LINE)
+    for tid in range(num_cores):
+        rng = make_rng("hotspot", seed, tid)
+        thread = builder.thread(tid)
+        for _ in range(accesses_per_core):
+            if rng.random() < hot_fraction:
+                address = hot + rng.randrange(hot_lines) * LINE
+            else:
+                address = cold + rng.randrange(cold_lines) * LINE
+            thread.work(2)
+            if rng.random() < write_fraction:
+                thread.write(address)
+            else:
+                thread.read(address)
+    builder.barrier_all()
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+def streaming(
+    num_cores: int,
+    lines: int = 4096,
+    rounds: int = 2,
+    seed: int = 0,
+) -> Trace:
+    """Every core scans one large shared array, ``rounds`` times.
+
+    Single-use-before-eviction lines are the protocol's ideal conversion
+    target: capacity misses become cheap word misses.
+    """
+    _require_positive(num_cores=num_cores, lines=lines, rounds=rounds)
+    builder = TraceBuilder("synthetic-streaming", num_cores)
+    region = builder.address_space.alloc("stream", lines * LINE)
+    for tid in range(num_cores):
+        rng = make_rng("streaming", seed, tid)
+        thread = builder.thread(tid)
+        # Stagger starting offsets so cores do not convoy on one home slice.
+        start = rng.randrange(lines)
+        for _round in range(rounds):
+            for i in range(lines):
+                thread.work(1)
+                thread.read(region + ((start + i) % lines) * LINE)
+    builder.barrier_all()
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+def producer_consumer(
+    num_cores: int,
+    buffer_lines: int = 32,
+    handoffs: int = 20,
+    seed: int = 0,
+) -> Trace:
+    """Adjacent core pairs hand a buffer back and forth.
+
+    Each handoff invalidates the consumer's copies (sharing misses); with
+    few uses per handoff the protocol should pin the buffer at its home
+    and convert the ping-pong into word traffic.
+    """
+    _require_positive(num_cores=num_cores, buffer_lines=buffer_lines, handoffs=handoffs)
+    if num_cores % 2:
+        raise TraceError(f"producer_consumer needs an even core count, got {num_cores}")
+    builder = TraceBuilder("synthetic-prodcons", num_cores)
+    buffers = [
+        builder.address_space.alloc(f"buf{pair}", buffer_lines * LINE)
+        for pair in range(num_cores // 2)
+    ]
+    for pair in range(num_cores // 2):
+        producer = builder.thread(2 * pair)
+        consumer = builder.thread(2 * pair + 1)
+        buffer = buffers[pair]
+        for _ in range(handoffs):
+            for i in range(buffer_lines):
+                producer.work(2)
+                producer.write(buffer + i * LINE)
+            for i in range(buffer_lines):
+                consumer.work(2)
+                consumer.read(buffer + i * LINE)
+    builder.barrier_all()
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+def migratory(
+    num_cores: int,
+    object_lines: int = 4,
+    rounds: int = 10,
+    uses_per_visit: int = 3,
+    seed: int = 0,
+) -> Trace:
+    """A lock-protected object read-modified-written by every core in turn.
+
+    The classic migratory pattern: each visit ends with a write that
+    invalidates the previous visitor, so per-visit utilization sits right
+    at the classification boundary when ``uses_per_visit`` is near PCT.
+    """
+    _require_positive(
+        num_cores=num_cores,
+        object_lines=object_lines,
+        rounds=rounds,
+        uses_per_visit=uses_per_visit,
+    )
+    builder = TraceBuilder("synthetic-migratory", num_cores)
+    obj = builder.address_space.alloc("object", object_lines * LINE)
+    lock_id = 1
+    for _round in range(rounds):
+        for tid in range(num_cores):
+            thread = builder.thread(tid)
+            thread.lock(lock_id)
+            for i in range(object_lines):
+                for _use in range(uses_per_visit - 1):
+                    thread.work(1)
+                    thread.read(obj + i * LINE)
+                thread.work(1)
+                thread.write(obj + i * LINE)
+            thread.unlock(lock_id)
+    builder.barrier_all()
+    return builder.build()
+
+
+#: Name -> generator mapping for programmatic access.
+SYNTHETIC_PATTERNS = {
+    "uniform": uniform_random,
+    "hotspot": hotspot,
+    "streaming": streaming,
+    "producer-consumer": producer_consumer,
+    "migratory": migratory,
+}

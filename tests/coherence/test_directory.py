@@ -1,0 +1,99 @@
+"""ACKwise / full-map sharer tracking tests."""
+
+import pytest
+
+from repro.coherence.directory import (
+    AckwisePolicy,
+    DirectoryEntry,
+    FullMapPolicy,
+    make_sharer_policy,
+)
+from repro.common.errors import CoherenceError
+from repro.common.params import ProtocolConfig
+from repro.common.types import DirState
+
+
+class TestDirectoryEntry:
+    def test_initial_state(self):
+        entry = DirectoryEntry()
+        assert entry.state is DirState.UNCACHED
+        assert entry.owner == -1
+
+    def test_state_transitions(self):
+        entry = DirectoryEntry()
+        entry.sharers.add(1)
+        assert entry.state is DirState.SHARED
+        entry.owner = 1
+        assert entry.state is DirState.EXCLUSIVE
+
+    def test_swmr_invariant_check(self):
+        entry = DirectoryEntry()
+        entry.owner = 1
+        entry.sharers.update({1, 2})
+        with pytest.raises(CoherenceError):
+            entry.check_invariants()
+        entry.sharers.discard(2)
+        entry.check_invariants()  # now legal
+
+
+class TestAckwise:
+    @pytest.fixture
+    def policy(self):
+        return AckwisePolicy(num_cores=64, pointers=4)
+
+    def test_no_overflow_below_pointer_count(self, policy):
+        entry = DirectoryEntry()
+        for core in range(4):
+            policy.add_sharer(entry, core)
+        assert not entry.overflowed
+        assert not policy.use_broadcast(entry)
+
+    def test_overflow_beyond_pointers(self, policy):
+        entry = DirectoryEntry()
+        for core in range(5):
+            policy.add_sharer(entry, core)
+        assert entry.overflowed
+        assert policy.use_broadcast(entry)
+
+    def test_overflow_persists_until_drained(self, policy):
+        entry = DirectoryEntry()
+        for core in range(5):
+            policy.add_sharer(entry, core)
+        for core in range(4):
+            policy.remove_sharer(entry, core)
+        # One sharer left but identities were lost: still broadcast.
+        assert entry.overflowed
+        policy.remove_sharer(entry, 4)
+        assert not entry.overflowed  # fresh start once empty
+
+    def test_remove_clears_owner(self, policy):
+        entry = DirectoryEntry()
+        policy.set_owner(entry, 7)
+        assert entry.state is DirState.EXCLUSIVE
+        policy.remove_sharer(entry, 7)
+        assert entry.owner == -1
+        assert entry.state is DirState.UNCACHED
+
+    def test_storage_bits(self, policy):
+        # Section 3.6: ACKwise_4 uses 24 bits per entry at 64 cores.
+        assert policy.storage_bits_per_entry() == 24
+
+
+class TestFullMap:
+    def test_never_broadcasts(self):
+        policy = FullMapPolicy(num_cores=64)
+        entry = DirectoryEntry()
+        for core in range(64):
+            policy.add_sharer(entry, core)
+        assert not policy.use_broadcast(entry)
+
+    def test_storage_bits(self):
+        # Section 3.6: full map uses 64 bits per entry at 64 cores.
+        assert FullMapPolicy(num_cores=64).storage_bits_per_entry() == 64
+
+
+def test_factory():
+    assert isinstance(make_sharer_policy(ProtocolConfig(), 64, 4), AckwisePolicy)
+    assert isinstance(
+        make_sharer_policy(ProtocolConfig(directory="fullmap"), 64, 4), FullMapPolicy
+    )

@@ -1,0 +1,72 @@
+"""Tests for the Complete classifier's vote-init short-cut (Section 5.3)."""
+
+from __future__ import annotations
+
+from repro.coherence.classifier.complete import CompleteClassifier
+from repro.common.params import ProtocolConfig
+from repro.common.types import SharerMode
+from repro.mem.l2 import L2Line
+
+
+def classifier(vote_init: bool) -> CompleteClassifier:
+    return CompleteClassifier(
+        ProtocolConfig(classifier="complete", complete_vote_init=vote_init)
+    )
+
+
+def line_with_modes(cls: CompleteClassifier, modes: dict[int, SharerMode]) -> L2Line:
+    l2line = L2Line()
+    for core, mode in modes.items():
+        entry = cls.locality_entry(l2line, core, allocate=True)
+        entry.mode = mode
+    return l2line
+
+
+class TestVoteInit:
+    def test_plain_complete_starts_new_cores_private(self):
+        cls = classifier(vote_init=False)
+        l2line = line_with_modes(cls, {0: SharerMode.REMOTE, 1: SharerMode.REMOTE})
+        entry = cls.locality_entry(l2line, 5, allocate=True)
+        assert entry.mode is SharerMode.PRIVATE  # Figure 4's Initial state
+
+    def test_shortcut_inherits_remote_majority(self):
+        cls = classifier(vote_init=True)
+        l2line = line_with_modes(
+            cls, {0: SharerMode.REMOTE, 1: SharerMode.REMOTE, 2: SharerMode.PRIVATE}
+        )
+        entry = cls.locality_entry(l2line, 5, allocate=True)
+        assert entry.mode is SharerMode.REMOTE
+
+    def test_shortcut_inherits_private_majority(self):
+        cls = classifier(vote_init=True)
+        l2line = line_with_modes(cls, {0: SharerMode.PRIVATE, 1: SharerMode.PRIVATE})
+        entry = cls.locality_entry(l2line, 5, allocate=True)
+        assert entry.mode is SharerMode.PRIVATE
+
+    def test_tie_favours_private(self):
+        cls = classifier(vote_init=True)
+        l2line = line_with_modes(cls, {0: SharerMode.REMOTE, 1: SharerMode.PRIVATE})
+        entry = cls.locality_entry(l2line, 5, allocate=True)
+        assert entry.mode is SharerMode.PRIVATE
+
+    def test_first_core_always_starts_private(self):
+        # No tracked cores yet: nothing to vote over.
+        cls = classifier(vote_init=True)
+        entry = cls.locality_entry(L2Line(), 0, allocate=True)
+        assert entry.mode is SharerMode.PRIVATE
+
+    def test_shortcut_counts_vote_decisions(self):
+        cls = classifier(vote_init=True)
+        l2line = line_with_modes(cls, {0: SharerMode.REMOTE, 1: SharerMode.REMOTE})
+        before = cls.vote_decisions
+        cls.locality_entry(l2line, 5, allocate=True)
+        assert cls.vote_decisions == before + 1
+
+    def test_existing_entries_not_revoted(self):
+        cls = classifier(vote_init=True)
+        l2line = line_with_modes(cls, {0: SharerMode.PRIVATE})
+        entry = cls.locality_entry(l2line, 0, allocate=True)
+        entry.mode = SharerMode.REMOTE
+        again = cls.locality_entry(l2line, 0, allocate=True)
+        assert again is entry
+        assert again.mode is SharerMode.REMOTE

@@ -1,0 +1,101 @@
+"""Tests for the DSENT-flavoured router/link energy backend."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.params import ArchConfig
+from repro.energy.dsent import (
+    LinkEnergyModel,
+    RouterEnergyModel,
+    crossover_node,
+    link_energy_per_flit,
+    router_energy_per_flit,
+)
+from repro.energy.technology import NODE_11NM, NODE_45NM, NODES
+
+
+class TestRouterEnergyModel:
+    def test_components_sum_to_per_flit(self):
+        r = RouterEnergyModel(64, NODE_11NM)
+        total = r.buffer_energy + r.crossbar_energy + r.arbiter_energy + r.clock_energy
+        assert r.per_flit == pytest.approx(total)
+
+    def test_wider_flit_costs_more(self):
+        assert RouterEnergyModel(128, NODE_11NM).per_flit > RouterEnergyModel(64, NODE_11NM).per_flit
+
+    def test_higher_radix_costs_more(self):
+        mesh = RouterEnergyModel(64, NODE_11NM, radix=5)
+        torus = RouterEnergyModel(64, NODE_11NM, radix=7)
+        assert torus.per_flit > mesh.per_flit
+
+    def test_newer_node_is_cheaper(self):
+        assert RouterEnergyModel(64, NODE_11NM).per_flit < RouterEnergyModel(64, NODE_45NM).per_flit
+
+    def test_invalid_flit_width_rejected(self):
+        with pytest.raises(ConfigError, match="flit width"):
+            RouterEnergyModel(0, NODE_11NM)
+
+    def test_invalid_radix_rejected(self):
+        with pytest.raises(ConfigError, match="radix"):
+            RouterEnergyModel(64, NODE_11NM, radix=1)
+
+
+class TestLinkEnergyModel:
+    def test_energy_linear_in_span(self):
+        short = LinkEnergyModel(64, NODE_11NM, span_mm=1.0)
+        long = LinkEnergyModel(64, NODE_11NM, span_mm=2.0)
+        assert long.per_flit == pytest.approx(2.0 * short.per_flit)
+
+    def test_energy_linear_in_flit_width(self):
+        narrow = LinkEnergyModel(64, NODE_11NM)
+        wide = LinkEnergyModel(128, NODE_11NM)
+        assert wide.per_flit == pytest.approx(2.0 * narrow.per_flit)
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ConfigError, match="span"):
+            LinkEnergyModel(64, NODE_11NM, span_mm=0.0)
+
+    def test_invalid_flit_width_rejected(self):
+        with pytest.raises(ConfigError, match="flit width"):
+            LinkEnergyModel(-1, NODE_11NM)
+
+
+class TestWireScalingStory:
+    """Section 5.1.1: link energy overtakes router energy by 11 nm."""
+
+    def test_links_beat_routers_at_11nm(self):
+        arch = ArchConfig()
+        assert link_energy_per_flit(arch, NODE_11NM) > router_energy_per_flit(arch, NODE_11NM)
+
+    def test_routers_beat_links_at_45nm(self):
+        arch = ArchConfig()
+        assert router_energy_per_flit(arch, NODE_45NM) > link_energy_per_flit(arch, NODE_45NM)
+
+    def test_crossover_happens_inside_the_ladder(self):
+        ladder = [NODES[nm] for nm in sorted(NODES, reverse=True)]
+        node = crossover_node(ArchConfig(), ladder)
+        assert node is not None
+        assert node.feature_nm < 45.0
+
+    def test_crossover_none_when_no_node_qualifies(self):
+        assert crossover_node(ArchConfig(), [NODES[45.0]]) is None
+
+    def test_link_to_router_ratio_grows_down_the_ladder(self):
+        arch = ArchConfig()
+        ordered = [NODES[nm] for nm in sorted(NODES, reverse=True)]
+        ratios = [
+            link_energy_per_flit(arch, n) / router_energy_per_flit(arch, n) for n in ordered
+        ]
+        assert ratios == sorted(ratios)
+
+    @given(flit_bits=st.sampled_from([32, 64, 128, 256]))
+    def test_property_crossover_independent_of_flit_width(self, flit_bits):
+        # Both router and link scale linearly in flit bits (to first order),
+        # so the 11nm ordering should hold for any width.
+        r = RouterEnergyModel(flit_bits, NODE_11NM).per_flit
+        l = LinkEnergyModel(flit_bits, NODE_11NM).per_flit
+        assert l > 0.8 * r  # links never become negligible at 11 nm

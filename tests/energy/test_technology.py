@@ -1,0 +1,64 @@
+"""Tests for the technology-node scaling rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy.technology import (
+    NODE_11NM,
+    NODE_45NM,
+    NODES,
+    TechnologyNode,
+    node,
+)
+
+
+class TestNodeLookup:
+    def test_builtin_ladder_has_paper_node(self):
+        assert node(11).feature_nm == 11.0
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError, match="unknown technology node"):
+            node(7)
+
+    def test_ladder_voltages_decrease_with_feature_size(self):
+        ordered = [NODES[nm] for nm in sorted(NODES, reverse=True)]
+        vdds = [n.vdd for n in ordered]
+        assert vdds == sorted(vdds, reverse=True)
+
+
+class TestScalingRules:
+    def test_gate_energy_shrinks_with_node(self):
+        assert NODE_11NM.gate_energy_pj < NODE_45NM.gate_energy_pj
+
+    def test_gate_energy_shrinks_monotonically_down_the_ladder(self):
+        ordered = [NODES[nm] for nm in sorted(NODES, reverse=True)]
+        energies = [n.gate_energy_pj for n in ordered]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_wire_energy_shrinks_only_via_voltage(self):
+        # Wire energy ratio across nodes equals the vdd-squared ratio.
+        ratio = NODE_11NM.wire_energy_pj_per_mm / NODE_45NM.wire_energy_pj_per_mm
+        assert ratio == pytest.approx((NODE_11NM.vdd / NODE_45NM.vdd) ** 2)
+
+    def test_wire_to_gate_ratio_grows_as_node_shrinks(self):
+        # Section 5.1.1: wires scale poorly, so their relative cost grows.
+        ordered = [NODES[nm] for nm in sorted(NODES, reverse=True)]
+        ratios = [n.wire_to_gate_ratio for n in ordered]
+        assert ratios == sorted(ratios)
+
+    def test_gate_energy_at_reference_node_is_the_reference_constant(self):
+        from repro.energy.technology import GATE_ENERGY_PJ_45
+
+        assert NODE_45NM.gate_energy_pj == pytest.approx(GATE_ENERGY_PJ_45)
+
+
+class TestValidation:
+    def test_nonpositive_feature_rejected(self):
+        with pytest.raises(ConfigError, match="feature size"):
+            TechnologyNode(0, 1.0)
+
+    def test_implausible_voltage_rejected(self):
+        with pytest.raises(ConfigError, match="voltage"):
+            TechnologyNode(22, 5.0)

@@ -1,0 +1,53 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.report import EXPERIMENTS, generate, missing_results
+
+
+class TestExperimentIndex:
+    def test_every_paper_figure_is_covered(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        for figure in ("Figure 1", "Figure 2", "Figure 8", "Figure 9",
+                       "Figure 10", "Figure 11", "Figure 12", "Figure 13",
+                       "Figure 14"):
+            assert figure in ids
+
+    def test_storage_and_preamble_covered(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        assert "Section 3.6 (storage)" in ids
+        assert "Section 5 preamble" in ids
+
+    def test_every_experiment_names_an_existing_bench(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for e in EXPERIMENTS:
+            assert (root / e.bench).exists(), e.bench
+
+    def test_result_files_unique(self):
+        files = [e.result_file for e in EXPERIMENTS]
+        assert len(files) == len(set(files))
+
+
+class TestGeneration:
+    def test_renders_archived_results(self, tmp_path):
+        (tmp_path / "fig11_geomean_sweep.txt").write_text("MEASURED TABLE 42\n")
+        text = generate(results_dir=tmp_path)
+        assert "MEASURED TABLE 42" in text
+        assert "paper vs measured" in text.lower()
+
+    def test_marks_missing_results(self, tmp_path):
+        text = generate(results_dir=tmp_path)
+        assert "no archived result yet" in text
+
+    def test_index_table_lists_all_experiments(self, tmp_path):
+        text = generate(results_dir=tmp_path)
+        for e in EXPERIMENTS:
+            assert e.exp_id in text
+
+    def test_missing_results_accounts_for_archives(self):
+        # Against the real results dir: whatever is missing must be a
+        # subset of the declared experiments.
+        declared = {e.result_file for e in EXPERIMENTS}
+        assert set(missing_results()) <= declared

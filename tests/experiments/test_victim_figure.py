@@ -1,0 +1,41 @@
+"""Tests for the Victim Replication comparison figure generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import victim_replication_comparison
+from repro.experiments.harness import ExperimentRunner, bench_arch
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    return ExperimentRunner(
+        arch=bench_arch(16), scale="tiny", workloads=("dijkstra-ap", "streamcluster")
+    )
+
+
+class TestVictimReplicationFigure:
+    def test_rows_normalized_to_baseline(self, tiny_runner):
+        result = victim_replication_comparison(tiny_runner)
+        for name in tiny_runner.workloads:
+            row = result.data[name]
+            assert row["vr_time"] > 0 and row["vr_energy"] > 0
+            assert row["adapt_time"] > 0 and row["adapt_energy"] > 0
+
+    def test_replica_counters_reported(self, tiny_runner):
+        result = victim_replication_comparison(tiny_runner)
+        for name in tiny_runner.workloads:
+            assert result.data[name]["replicas"] >= 0
+            assert result.data[name]["replica_hits"] >= 0
+
+    def test_geomean_summary_present(self, tiny_runner):
+        result = victim_replication_comparison(tiny_runner)
+        summary = result.data["geomean"]
+        assert set(summary) == {"vr_time", "vr_energy", "adapt_time", "adapt_energy"}
+
+    def test_text_renders_all_workloads(self, tiny_runner):
+        result = victim_replication_comparison(tiny_runner)
+        for name in tiny_runner.workloads:
+            assert name in result.text
+        assert "geomean" in result.text

@@ -1,0 +1,54 @@
+"""Direct tests for the golden reference memory (verify-mode backbone)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CoherenceError
+from repro.mem.golden import GoldenMemory
+
+
+class TestReadsAndWrites:
+    def test_untouched_memory_reads_zero(self):
+        golden = GoldenMemory()
+        assert golden.read_word(0x100, 3) == 0
+        golden.check_read(0x100, 3, 0, "cold read")  # must not raise
+
+    def test_write_then_read_round_trips(self):
+        golden = GoldenMemory()
+        golden.write_word(7, 2, 42)
+        assert golden.read_word(7, 2) == 42
+        golden.check_read(7, 2, 42, "ok")
+
+    def test_writes_to_different_words_independent(self):
+        golden = GoldenMemory()
+        golden.write_word(7, 0, 1)
+        golden.write_word(7, 1, 2)
+        assert golden.line_snapshot(7) == [1, 2, 0, 0, 0, 0, 0, 0]
+
+    def test_line_snapshot_is_a_copy(self):
+        golden = GoldenMemory()
+        golden.write_word(7, 0, 1)
+        snapshot = golden.line_snapshot(7)
+        snapshot[0] = 999
+        assert golden.read_word(7, 0) == 1
+
+
+class TestCorruptionDetection:
+    def test_stale_read_raises_with_context(self):
+        golden = GoldenMemory()
+        golden.write_word(7, 2, 42)
+        with pytest.raises(CoherenceError, match="L1 hit core 3"):
+            golden.check_read(7, 2, 41, "L1 hit core 3")
+
+    def test_lost_write_detected_at_line_check(self):
+        golden = GoldenMemory()
+        golden.write_word(9, 0, 5)
+        with pytest.raises(CoherenceError):
+            golden.check_line(9, [0] * 8, "L2 eviction")
+
+    def test_matching_line_check_passes(self):
+        golden = GoldenMemory()
+        golden.write_word(9, 0, 5)
+        expected = golden.line_snapshot(9)
+        golden.check_line(9, expected, "L2 eviction")

@@ -1,0 +1,88 @@
+"""Mesh topology and XY routing tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.network.topology import Mesh2D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(64)
+
+
+def test_requires_square(mesh):
+    with pytest.raises(ConfigError):
+        Mesh2D(48)
+
+
+def test_coord_roundtrip(mesh):
+    for tile in range(64):
+        x, y = mesh.coord(tile)
+        assert mesh.tile_at(x, y) == tile
+
+
+def test_hops_is_manhattan(mesh):
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 7) == 7
+    assert mesh.hops(0, 63) == 14  # corner to corner of an 8x8 mesh
+    assert mesh.hops(9, 18) == 2
+
+
+def test_route_empty_for_self(mesh):
+    assert mesh.route(5, 5) == ()
+
+
+def test_route_x_then_y(mesh):
+    # From (0,0) to (2,1): two X links then one Y link.
+    links = mesh.route(0, mesh.tile_at(2, 1))
+    assert len(links) == 3
+    # First hop goes to tile (1,0) = 1.
+    assert links[0] == mesh.link_id(0, 1)
+    assert links[1] == mesh.link_id(1, 2)
+    assert links[2] == mesh.link_id(2, 10)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_route_length_equals_hops(src, dst):
+    mesh = Mesh2D(64)
+    assert len(mesh.route(src, dst)) == mesh.hops(src, dst)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_route_links_are_adjacent_chain(src, dst):
+    mesh = Mesh2D(64)
+    here = src
+    for link in mesh.route(src, dst):
+        link_src, link_dst = divmod(link, mesh.num_tiles)
+        assert link_src == here
+        assert mesh.hops(link_src, link_dst) == 1
+        here = link_dst
+    assert here == dst
+
+
+@given(st.integers(0, 63))
+def test_broadcast_tree_spans_all_tiles(root):
+    mesh = Mesh2D(64)
+    edges = mesh.broadcast_tree(root)
+    assert len(edges) == 63  # spanning tree
+    reached = {root}
+    for src, dst in edges:
+        assert src in reached, "edges must arrive in BFS order"
+        assert dst not in reached, "each tile reached exactly once"
+        assert mesh.hops(src, dst) == 1
+        reached.add(dst)
+    assert reached == set(range(64))
+
+
+def test_broadcast_tree_cached(mesh):
+    assert mesh.broadcast_tree(3) is mesh.broadcast_tree(3)
+
+
+def test_tile_bounds_checked(mesh):
+    with pytest.raises(ConfigError):
+        mesh.coord(64)
+    with pytest.raises(ConfigError):
+        mesh.route(0, 64)

@@ -1,0 +1,128 @@
+"""Property-based tests for the set-associative cache (LRU invariants)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.params import CacheGeometry
+from repro.mem.cache import CacheLine, SetAssocCache
+
+
+def make_cache() -> SetAssocCache:
+    return SetAssocCache(CacheGeometry(1, 2, 1))  # 16 lines, 8 sets, 2-way
+
+
+lines = st.integers(min_value=0, max_value=255)
+
+
+class TestInsertProperties:
+    @given(seq=st.lists(lines, min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, seq):
+        cache = make_cache()
+        for line in seq:
+            cache.insert(line, CacheLine())
+            assert cache.occupancy() <= cache.geometry.num_lines
+            bucket_size = len(cache.entries_in_set(line))
+            assert bucket_size <= cache.associativity
+
+    @given(seq=st.lists(lines, min_size=1, max_size=200))
+    def test_inserted_line_is_resident(self, seq):
+        cache = make_cache()
+        for line in seq:
+            cache.insert(line, CacheLine())
+            assert cache.get(line) is not None
+
+    @given(seq=st.lists(lines, min_size=1, max_size=200))
+    def test_victim_only_from_same_set(self, seq):
+        cache = make_cache()
+        for line in seq:
+            evicted = cache.insert(line, CacheLine())
+            if evicted is not None:
+                assert evicted[0] & 7 == line & 7  # 8 sets
+
+    @given(seq=st.lists(lines, min_size=1, max_size=200))
+    def test_victim_preview_matches_insert_eviction(self, seq):
+        cache = make_cache()
+        for line in seq:
+            preview = cache.victim(line)
+            evicted = cache.insert(line, CacheLine())
+            if line in [l for l, _ in cache.entries_in_set(line)] and preview is None:
+                assert evicted is None
+            elif evicted is not None:
+                assert preview is not None
+                assert preview[0] == evicted[0]
+
+    @given(seq=st.lists(lines, min_size=3, max_size=50))
+    def test_lru_evicts_least_recently_used(self, seq):
+        cache = make_cache()
+        for line in seq:
+            cache.insert(line, CacheLine())
+        # Fill one set completely with fresh lines, touching the first.
+        cache2 = make_cache()
+        cache2.insert(0, CacheLine())
+        cache2.insert(8, CacheLine())
+        cache2.touch(cache2.get(0))  # 8 is now LRU
+        evicted = cache2.insert(16, CacheLine())
+        assert evicted[0] == 8
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Stateful model check: the cache mirrors a reference dict-of-sets."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = make_cache()
+        self.model: dict[int, set[int]] = {s: set() for s in range(8)}
+
+    @rule(line=lines)
+    def insert(self, line):
+        evicted = self.cache.insert(line, CacheLine())
+        bucket = self.model[line & 7]
+        if evicted is not None:
+            bucket.discard(evicted[0])
+        bucket.add(line)
+
+    @rule(line=lines)
+    def pop(self, line):
+        entry = self.cache.pop(line)
+        bucket = self.model[line & 7]
+        if line in bucket:
+            assert entry is not None
+            bucket.discard(line)
+        else:
+            assert entry is None
+
+    @rule(line=lines)
+    def lookup(self, line):
+        assert (self.cache.get(line) is not None) == (line in self.model[line & 7])
+
+    @invariant()
+    def occupancy_matches_model(self):
+        assert self.cache.occupancy() == sum(len(b) for b in self.model.values())
+
+    @invariant()
+    def no_set_overflows(self):
+        for bucket in self.model.values():
+            assert len(bucket) <= 2
+
+
+CacheMachine.TestCase.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+TestCacheMachine = CacheMachine.TestCase
+
+
+class TestMinLastAccess:
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=2))
+    def test_full_set_returns_minimum(self, times):
+        cache = make_cache()
+        for i, t in enumerate(times):
+            entry = CacheLine()
+            entry.last_access = t
+            cache.insert(i * 8, entry)  # same set
+        assert cache.min_last_access(16) == min(times)
+
+    def test_partial_set_returns_none(self):
+        cache = make_cache()
+        cache.insert(0, CacheLine())
+        assert cache.min_last_access(8) is None  # one free way remains

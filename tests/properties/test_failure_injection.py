@@ -1,0 +1,125 @@
+"""Failure injection: corrupted state and malformed inputs must raise the
+documented error types, not corrupt results silently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CoherenceError, ConfigError, SimulationError, TraceError
+from repro.common.params import ArchConfig, CacheGeometry, ProtocolConfig, baseline_protocol
+from repro.common.types import Op
+from repro.protocol.engine import ProtocolEngine
+from repro.sim.multicore import Simulator
+from repro.workloads.base import Trace, TraceBuilder
+from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+
+
+class TestConfigValidation:
+    def test_non_square_mesh_rejected(self):
+        with pytest.raises(ConfigError, match="perfect square"):
+            ArchConfig(num_cores=48)
+
+    def test_more_controllers_than_tiles_rejected(self):
+        with pytest.raises(ConfigError, match="controllers"):
+            ArchConfig(num_cores=16, num_memory_controllers=17)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            CacheGeometry(3, 2, 1)
+
+    def test_rat_max_below_pct_rejected(self):
+        with pytest.raises(ConfigError, match="rat_max"):
+            ProtocolConfig(pct=8, rat_max=4)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError, match="unknown protocol"):
+            ProtocolConfig(protocol="magic")
+
+
+class TestCoherenceCorruption:
+    def test_directory_listing_missing_l1_copy_raises(self):
+        engine = ProtocolEngine(small_arch(), baseline_protocol(), verify=True)
+        share_page(engine)
+        engine.access(0, False, BASE, 100.0)
+        engine.access(1, False, BASE, 200.0)
+        # Corrupt: core 1's copy vanishes without the directory noticing.
+        engine.l1d[1].remove(BASE // LINE)
+        with pytest.raises(CoherenceError, match="but L1 empty"):
+            engine.access(2, True, BASE, 300.0)
+
+    def test_swmr_violation_detected(self):
+        engine = ProtocolEngine(small_arch(), baseline_protocol(), verify=True)
+        engine.access(0, True, BASE, 0.0)
+        entry = engine.directory_entry(BASE // LINE)
+        entry.sharers.add(5)  # corrupt: phantom sharer next to an owner
+        with pytest.raises(CoherenceError, match="SWMR"):
+            entry.check_invariants()
+
+    def test_unknown_home_on_eviction_raises(self):
+        engine = ProtocolEngine(small_arch(), baseline_protocol())
+        engine.access(0, False, BASE, 0.0)
+        engine._home_of_line.clear()  # corrupt the home map
+        with pytest.raises(SimulationError, match="unknown home"):
+            # Force an eviction in BASE's set.
+            engine.access(0, False, BASE + 8 * LINE, 100.0)
+            engine.access(0, False, BASE + 16 * LINE, 200.0)
+
+
+class TestTraceValidation:
+    def test_core_count_mismatch_raises(self):
+        trace = TraceBuilder("two", 4).build()
+        sim = Simulator(ArchConfig(num_cores=16, num_memory_controllers=4))
+        with pytest.raises(SimulationError, match="built for 4 cores"):
+            sim.run(trace)
+
+    def test_unlock_without_hold_raises_at_build(self):
+        with pytest.raises(TraceError, match="unlock of free lock"):
+            Trace("bad", 1, [[(int(Op.UNLOCK), 1, 0)]])
+
+    def test_unbalanced_lock_raises_at_build(self):
+        with pytest.raises(TraceError, match="unbalanced"):
+            Trace("bad", 1, [[(int(Op.LOCK), 1, 0)]])
+
+    def test_mismatched_barriers_raise_at_build(self):
+        streams = [[(int(Op.BARRIER), 0, 0)], []]
+        with pytest.raises(TraceError, match="barrier sequence"):
+            Trace("bad", 2, streams)
+
+    def test_negative_work_raises_at_build(self):
+        with pytest.raises(TraceError, match="negative work"):
+            Trace("bad", 1, [[(int(Op.READ), 64, -1)]])
+
+    def test_out_of_range_address_raises_at_build(self):
+        with pytest.raises(TraceError, match="out of range"):
+            Trace("bad", 1, [[(int(Op.READ), 1 << 60, 0)]])
+
+    def test_runtime_unlock_of_unheld_lock_raises(self):
+        # Build-time validation rejects unlock-before-lock, so the runtime
+        # guard is defensive; bypass validation to prove it still fires.
+        bad = Trace.__new__(Trace)
+        bad.name = "bad"
+        bad.num_cores = 16
+        bad.per_core = [[(int(Op.UNLOCK), 1, 0)]] + [[] for _ in range(15)]
+        sim = Simulator(small_arch(), baseline_protocol())
+        with pytest.raises(SimulationError, match="does not hold"):
+            sim.run(bad)
+
+
+class TestDeadlockDetection:
+    def test_unreleased_lock_blocks_and_is_reported(self):
+        # Both threads end their streams fighting over lock 1 (thread 0
+        # never releases): the simulator must report the deadlock instead
+        # of silently dropping the parked thread.  Built via __new__ because
+        # Trace validation (correctly) rejects unbalanced locks up front.
+        region = 1 << 30
+        streams = [
+            [(int(Op.LOCK), 1, 0), (int(Op.READ), region, 0)],
+            [(int(Op.LOCK), 1, 0), (int(Op.READ), region, 0)],
+        ] + [[] for _ in range(14)]
+        bad = Trace.__new__(Trace)
+        bad.name = "deadlock"
+        bad.num_cores = 16
+        bad.per_core = streams
+        sim = Simulator(small_arch(), baseline_protocol())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(bad)

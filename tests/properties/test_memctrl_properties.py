@@ -1,0 +1,72 @@
+"""Property-based tests for the DRAM controller bandwidth/queueing model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import ArchConfig
+from repro.mem.memctrl import MemorySubsystem
+
+ARCH = ArchConfig(num_cores=16, num_memory_controllers=4)
+
+
+class TestControllerMapping:
+    @given(line=st.integers(min_value=0, max_value=1 << 30))
+    def test_every_line_maps_to_a_controller_tile(self, line):
+        memsys = MemorySubsystem(ARCH)
+        ctrl = memsys.controller_for_line(line)
+        assert ctrl.tile in ARCH.memory_controller_tiles
+
+    @given(line=st.integers(min_value=0, max_value=1 << 30))
+    def test_mapping_is_stable(self, line):
+        memsys = MemorySubsystem(ARCH)
+        assert memsys.controller_for_line(line) is memsys.controller_for_line(line)
+
+    def test_lines_interleave_across_all_controllers(self):
+        memsys = MemorySubsystem(ARCH)
+        used = {memsys.controller_for_line(line).tile for line in range(16)}
+        assert used == set(ARCH.memory_controller_tiles)
+
+
+class TestTiming:
+    @given(start=st.floats(min_value=0, max_value=1e6))
+    def test_single_access_pays_dram_latency(self, start):
+        memsys = MemorySubsystem(ARCH)
+        ctrl = memsys.controller_for_line(0)
+        finish, queue = ctrl.access(start, ARCH.line_size)
+        assert queue == 0.0  # empty controller: no queueing
+        assert finish >= start + ARCH.dram_latency_cycles
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        gap=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_back_to_back_requests_queue_for_bandwidth(self, n, gap):
+        """Requests arriving faster than bandwidth drains must queue, and
+        finish times must be nondecreasing for nondecreasing arrivals."""
+        memsys = MemorySubsystem(ARCH)
+        ctrl = memsys.controller_for_line(0)
+        t = 0.0
+        last_finish = 0.0
+        for _ in range(n):
+            finish, queue = ctrl.access(t, ARCH.line_size)
+            assert queue >= 0.0
+            assert finish >= last_finish
+            last_finish = finish
+            t += gap
+        # Sustained service rate cannot exceed the configured bandwidth.
+        min_service = ARCH.line_size / ARCH.dram_bandwidth_bytes_per_cycle
+        assert last_finish >= (n - 1) * min_service
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=20))
+    def test_request_accounting(self, n):
+        memsys = MemorySubsystem(ARCH)
+        ctrl = memsys.controller_for_line(0)
+        for i in range(n):
+            ctrl.access(float(i * 1000), ARCH.line_size)
+        assert ctrl.requests == n
+        assert ctrl.bytes_transferred == n * ARCH.line_size
+        assert memsys.total_requests == n

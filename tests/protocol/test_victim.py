@@ -1,0 +1,277 @@
+"""Victim Replication tests (Section 2.1 comparison point).
+
+Scenario conventions follow ``test_engine.py``: a tiny 16-core system so
+evictions are easy to provoke, ``share_page`` to pin R-NUCA's page
+classification, and verify mode on so golden-memory checks run.  Acting
+cores are chosen away from the shared line's home slice, because a victim
+whose home is the local slice is (correctly) never replicated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CoherenceError
+from repro.common.params import victim_replication_protocol
+from repro.common.types import MESIState
+from repro.protocol.victim import VictimReplicationEngine
+from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+
+
+def make_vr_engine(verify: bool = True) -> VictimReplicationEngine:
+    return VictimReplicationEngine(small_arch(), victim_replication_protocol(), verify=verify)
+
+
+def evict_line(engine, core: int, line_addr: int, start: float) -> float:
+    """Evict ``line_addr`` from ``core``'s L1 by filling its 2-way set.
+
+    The tiny L1 has 8 sets; lines that are 8 lines apart map to the same
+    set.  Returns the next free timestamp.
+    """
+    t = start
+    for i in (1, 2):
+        engine.access(core, False, line_addr + i * 8 * LINE, t)
+        t += 200.0
+    return t
+
+
+def setup_shared_line(engine) -> tuple[int, int]:
+    """Make BASE's page shared and return two cores that are NOT its home.
+
+    Replication only happens when the victim's home is a *remote* slice, so
+    the acting cores must differ from wherever R-NUCA hashed the line.
+    """
+    share_page(engine)
+    home = engine.placement.shared_home(BASE // LINE)
+    cores = [c for c in range(12) if c != home]
+    return cores[0], cores[1]
+
+
+class TestReplicaCreation:
+    def test_shared_eviction_creates_local_replica(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)  # both S now
+        evict_line(engine, a, BASE, 500.0)
+        assert engine.replicas_created >= 1
+        replica = engine.l2[a].lookup(BASE // LINE)
+        assert replica is not None and replica.is_replica
+
+    def test_shared_eviction_with_replica_sends_no_message(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        t = 500.0
+        # Bring the first filler line in, and warm the second one's home L2
+        # (two other cores read it, so it sits in S with no owner): the
+        # final access is then exactly one request + one line reply.
+        others = [x for x in range(12) if x not in (a, b)][:2]
+        engine.access(a, False, BASE + 8 * LINE, t)
+        engine.access(others[0], False, BASE + 16 * LINE, t + 100.0)
+        engine.access(others[1], False, BASE + 16 * LINE, t + 200.0)
+        messages_before = engine.network.messages_sent
+        engine.access(a, False, BASE + 16 * LINE, t + 400.0)
+        # The final access costs one request + one reply; the silent S
+        # replication of the displaced BASE line adds nothing.
+        assert engine.network.messages_sent - messages_before <= 2
+        replica = engine.l2[a].lookup(BASE // LINE)
+        assert replica is not None and replica.is_replica
+
+    def test_replica_holder_stays_in_sharer_set(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        assert a in engine.directory_entry(BASE // LINE).sharers
+
+    def test_no_replica_when_home_slice_is_local(self):
+        # R-NUCA places a private page at the requester's own slice: a
+        # replica would duplicate the local home line.
+        engine = make_vr_engine()
+        engine.access(0, False, BASE, 0.0)  # private page, home = slice 0
+        evict_line(engine, 0, BASE, 100.0)
+        assert engine.replicas_created == 0
+
+    def test_modified_eviction_writes_back_and_replicates_clean(self):
+        engine = make_vr_engine()
+        a, _b = setup_shared_line(engine)
+        engine.access(a, True, BASE, 100.0)
+        home = engine._home_of_line[BASE // LINE]
+        evict_line(engine, a, BASE, 300.0)
+        assert engine.replicas_created >= 1
+        homeline = engine.l2[home].lookup(BASE // LINE)
+        assert homeline.dirty  # data went home
+        assert engine.directory_entry(BASE // LINE).owner == -1
+
+    def test_exclusive_eviction_clears_owner_but_keeps_sharer(self):
+        engine = make_vr_engine()
+        a, _b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        assert engine.directory_entry(BASE // LINE).owner == a
+        evict_line(engine, a, BASE, 300.0)
+        entry = engine.directory_entry(BASE // LINE)
+        assert entry.owner == -1
+        assert a in entry.sharers
+
+
+class TestReplicaHits:
+    def test_read_after_eviction_hits_replica_without_network(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        flits_before = engine.network.flits_sent
+        result = engine.access(a, False, BASE, 2000.0)
+        assert engine.replica_hits == 1
+        # The hit itself is traffic-free; the L1 fill may displace another
+        # line whose eviction notice is one header flit.  A home round-trip
+        # would have cost a request plus a 9-flit line reply.
+        assert engine.network.flits_sent - flits_before <= 1
+        assert not result.hit  # still an L1 miss, just a cheap one
+        assert result.latency == engine.arch.l2.latency
+
+    def test_replica_promotes_back_into_l1(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        engine.access(a, False, BASE, 2000.0)
+        assert engine.l1_state(a, BASE // LINE) is MESIState.SHARED
+        assert engine.l2[a].lookup(BASE // LINE) is None  # replica freed
+
+    def test_replica_hit_is_cheaper_than_home_roundtrip(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        hit = engine.access(a, False, BASE, 2000.0)
+        # Same access pattern without a replica: line 3 sets away, fresh
+        # from its (remote) home slice.
+        fresh = engine.access(a, False, BASE + 3 * LINE, 3000.0)
+        assert hit.latency <= fresh.latency
+
+    def test_replica_hit_counts_as_l1_miss(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        misses_before = engine.miss_stats.misses
+        engine.access(a, False, BASE, 2000.0)
+        assert engine.miss_stats.misses == misses_before + 1
+
+
+class TestCoherence:
+    def test_remote_write_invalidates_replica(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        engine.access(b, True, BASE, 2000.0)  # exclusive request
+        assert engine.replica_invalidations == 1
+        assert engine.l2[a].lookup(BASE // LINE) is None
+        assert engine.directory_entry(BASE // LINE).sharers == {b}
+
+    def test_own_write_discards_own_replica(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        engine.access(a, True, BASE, 2000.0)
+        replica = engine.l2[a].lookup(BASE // LINE)
+        assert replica is None or not replica.is_replica
+        assert engine.l1_state(a, BASE // LINE) is MESIState.MODIFIED
+
+    def test_functional_correctness_with_replicas(self):
+        # Golden-memory checks stay green across replicate/hit/invalidate.
+        engine = make_vr_engine(verify=True)
+        a, b = setup_shared_line(engine)
+        engine.access(a, True, BASE, 100.0)  # core a writes
+        evict_line(engine, a, BASE, 300.0)  # dirty eviction -> clean replica
+        engine.access(a, False, BASE, 2000.0)  # replica hit, checked vs golden
+        engine.access(b, True, BASE, 3000.0)  # remote write kills the L1 copy
+        engine.access(a, False, BASE, 4000.0)  # fresh copy, checked again
+
+    def test_directory_invariants_hold(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        engine.access(b, True, BASE, 2000.0)
+        engine.directory_entry(BASE // LINE).check_invariants()
+
+    def test_purge_without_copy_or_replica_raises(self):
+        engine = make_vr_engine()
+        a, _b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        l2line = engine.l2[engine._home_of_line[BASE // LINE]].lookup(BASE // LINE)
+        engine.l1d[a].remove(BASE // LINE)  # corrupt: drop the copy silently
+        with pytest.raises(CoherenceError, match="neither an L1 copy nor a replica"):
+            engine._purge_target_copy(a, BASE // LINE, l2line, merge_into_l2=True)
+
+
+class TestReplacementAndFallback:
+    def test_replication_failure_falls_back_to_plain_eviction(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        # Whatever happened, the directory stays coherent and the counters
+        # are consistent: every eviction either replicated or fell back.
+        engine.directory_entry(BASE // LINE).check_invariants()
+        assert engine.replicas_created + engine.replication_failures >= 1
+
+    def test_replica_drop_releases_home_sharer_slot(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        replica = engine.l2[a].lookup(BASE // LINE)
+        assert replica is not None and replica.is_replica
+        engine._drop_replica(a, BASE // LINE, replica, 1000.0)
+        assert a not in engine.directory_entry(BASE // LINE).sharers
+        assert engine.replica_evictions == 1
+
+    def test_drop_replica_of_unknown_home_raises(self):
+        engine = make_vr_engine()
+        from repro.mem.l2 import L2Line
+
+        orphan = L2Line()
+        orphan.is_replica = True
+        with pytest.raises(CoherenceError, match="unknown home"):
+            engine._drop_replica(0, 0xDEAD, orphan, 0.0)
+
+
+class TestStatsPlumbing:
+    def test_simulator_surfaces_replica_counters(self):
+        from repro.experiments.harness import bench_arch
+        from repro.sim.multicore import Simulator
+        from repro.workloads.registry import load_workload
+
+        arch = bench_arch()
+        trace = load_workload("dijkstra-ap", arch, scale="tiny")
+        stats = Simulator(arch, victim_replication_protocol()).run(trace)
+        assert stats.replicas_created >= 0
+        assert stats.replica_hits >= 0
+
+    def test_reset_stats_zeroes_replica_counters(self):
+        engine = make_vr_engine()
+        a, b = setup_shared_line(engine)
+        engine.access(a, False, BASE, 100.0)
+        engine.access(b, False, BASE, 300.0)
+        evict_line(engine, a, BASE, 500.0)
+        assert engine.replicas_created > 0
+        engine.reset_stats()
+        assert engine.replicas_created == 0
+        assert engine.replica_hits == 0

@@ -1,0 +1,52 @@
+"""The public API surface: importable, documented, and sufficient for the
+README quickstart without reaching into submodules."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_public_callables_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart_runs(self):
+        arch = repro.ArchConfig(num_cores=16, num_memory_controllers=4)
+        trace = repro.load_workload("water-sp", arch, scale="tiny")
+        sim = repro.Simulator(arch, repro.ProtocolConfig(pct=4))
+        stats = sim.run(trace)
+        assert stats.completion_time > 0
+        assert stats.energy.total > 0
+
+    def test_three_protocol_families_constructible(self):
+        assert repro.baseline_protocol().protocol == "baseline"
+        assert repro.ProtocolConfig(pct=4).protocol == "adaptive"
+        assert repro.victim_replication_protocol().protocol == "victim"
+
+    def test_trace_io_round_trip_via_top_level(self, tmp_path):
+        arch = repro.ArchConfig(num_cores=16, num_memory_controllers=4)
+        trace = repro.load_workload("tsp", arch, scale="tiny")
+        path = tmp_path / "t.traceb"
+        repro.save_trace(trace, path)
+        again = repro.load_trace(path)
+        assert again.name == trace.name
+        assert again.total_records == trace.total_records
+
+    def test_workload_names_match_table2_count(self):
+        assert len(repro.WORKLOAD_NAMES) == 21

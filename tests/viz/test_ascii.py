@@ -1,0 +1,288 @@
+"""Unit tests for the ASCII chart primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.viz import (
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    sparkline,
+    stacked_bar_chart,
+)
+from repro.viz.ascii import SERIES_GLYPHS
+
+
+# ----------------------------------------------------------------------
+# bar_chart
+# ----------------------------------------------------------------------
+class TestBarChart:
+    def test_largest_value_fills_width(self):
+        out = bar_chart(["a", "b"], [4.0, 2.0], width=8)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 4
+
+    def test_labels_aligned_to_longest(self):
+        out = bar_chart(["x", "longer"], [1.0, 1.0], width=4)
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_zero_values_render_empty_bars(self):
+        out = bar_chart(["a"], [0.0], width=6)
+        assert "#" not in out
+
+    def test_explicit_max_value_shares_scale(self):
+        half = bar_chart(["a"], [2.0], width=10, max_value=4.0)
+        assert half.count("#") == 5
+
+    def test_title_is_first_line(self):
+        out = bar_chart(["a"], [1.0], title="Energy")
+        assert out.splitlines()[0] == "Energy"
+
+    def test_values_printed_after_bars(self):
+        out = bar_chart(["a"], [1.5], width=4)
+        assert "1.500" in out
+
+    def test_large_values_use_thousands_separator(self):
+        out = bar_chart(["a"], [12345.0], width=4)
+        assert "12,345" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a", "b"], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart([], [])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            bar_chart(["a"], [float("nan")])
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart(["a"], [1.0], width=2)
+
+    def test_nonpositive_max_value_rejected(self):
+        with pytest.raises(ValueError, match="max_value"):
+            bar_chart(["a"], [1.0], max_value=0.0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=12),
+        width=st.integers(min_value=4, max_value=80),
+    )
+    def test_bars_never_exceed_width(self, values, width):
+        labels = [f"b{i}" for i in range(len(values))]
+        out = bar_chart(labels, values, width=width)
+        for line in out.splitlines():
+            assert line.count("#") <= width
+
+
+# ----------------------------------------------------------------------
+# stacked_bar_chart
+# ----------------------------------------------------------------------
+class TestStackedBarChart:
+    def test_segments_use_series_glyphs_in_order(self):
+        out = stacked_bar_chart(["x"], {"a": [1.0], "b": [1.0]}, width=8)
+        bar_line = out.splitlines()[-1]
+        assert SERIES_GLYPHS[0] * 4 in bar_line
+        assert SERIES_GLYPHS[1] * 4 in bar_line
+
+    def test_legend_names_all_series(self):
+        out = stacked_bar_chart(["x"], {"cache": [1.0], "net": [2.0]})
+        legend = out.splitlines()[0]
+        assert "cache" in legend and "net" in legend
+
+    def test_total_printed_per_bar(self):
+        out = stacked_bar_chart(["x"], {"a": [1.0], "b": [2.0]}, width=6)
+        assert "3.000" in out
+
+    def test_stack_never_exceeds_width(self):
+        out = stacked_bar_chart(
+            ["x", "y"], {"a": [5.0, 1.0], "b": [5.0, 1.0]}, width=10
+        )
+        for line in out.splitlines()[1:]:
+            filled = sum(line.count(g) for g in SERIES_GLYPHS[:2])
+            assert filled <= 10
+
+    def test_relative_stack_sizes(self):
+        out = stacked_bar_chart(["x"], {"small": [1.0], "big": [3.0]}, width=8)
+        bar = out.splitlines()[-1]
+        assert bar.count(SERIES_GLYPHS[1]) > bar.count(SERIES_GLYPHS[0])
+
+    def test_all_zero_series_render(self):
+        out = stacked_bar_chart(["x"], {"a": [0.0]}, width=8)
+        bar_line = out.splitlines()[-1]  # legend line holds the glyph itself
+        assert SERIES_GLYPHS[0] not in bar_line
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="series 'a'"):
+            stacked_bar_chart(["x", "y"], {"a": [1.0]})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(len(SERIES_GLYPHS) + 1)}
+        with pytest.raises(ValueError, match="at most"):
+            stacked_bar_chart(["x"], series)
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError, match="at least one bar"):
+            stacked_bar_chart([], {"a": []})
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            stacked_bar_chart(["x"], {})
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        width=st.integers(min_value=8, max_value=64),
+        data=st.data(),
+    )
+    def test_property_stack_fits(self, n, width, data):
+        labels = [f"l{i}" for i in range(n)]
+        series = {
+            name: data.draw(
+                st.lists(
+                    st.floats(min_value=0, max_value=100), min_size=n, max_size=n
+                )
+            )
+            for name in ("a", "b", "c")
+        }
+        out = stacked_bar_chart(labels, series, width=width)
+        for line in out.splitlines()[1:]:
+            filled = sum(line.count(g) for g in SERIES_GLYPHS[:3])
+            assert filled <= width
+
+
+# ----------------------------------------------------------------------
+# grouped_bar_chart
+# ----------------------------------------------------------------------
+class TestGroupedBarChart:
+    def test_one_bar_per_series_per_category(self):
+        out = grouped_bar_chart(
+            ["radix", "lu"], {"1-way": [2.0, 1.0], "2-way": [1.0, 1.0]}
+        )
+        assert out.count("1-way") == 2
+        assert out.count("2-way") == 2
+        assert "radix:" in out and "lu:" in out
+
+    def test_shared_scale_across_categories(self):
+        out = grouped_bar_chart(
+            ["a", "b"], {"s": [4.0, 2.0]}, width=8
+        )
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 4
+
+    def test_category_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            grouped_bar_chart([], {"s": []})
+
+
+# ----------------------------------------------------------------------
+# line_chart
+# ----------------------------------------------------------------------
+class TestLineChart:
+    def test_u_curve_has_minimum_in_middle(self):
+        # The Figure-11 shape: high at both ends, low in the middle.
+        x = [1, 2, 3, 4, 5]
+        y = [1.0, 0.8, 0.7, 0.8, 1.0]
+        out = line_chart(x, {"time": y}, width=20, height=8)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        top_row = rows[0]
+        # Endpoints (maxima) appear on the top row; the middle does not.
+        assert top_row[0] != " " and top_row[-1] != " "
+        mid = len(top_row) // 2
+        assert top_row[mid] == " "
+
+    def test_monotone_series_spans_corners(self):
+        out = line_chart([0, 1], {"up": [0.0, 1.0]}, width=10, height=5)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        assert rows[-1][0] == SERIES_GLYPHS[0]  # min at left-bottom
+        assert rows[0][-1] == SERIES_GLYPHS[0]  # max at right-top
+
+    def test_two_series_use_distinct_glyphs(self):
+        out = line_chart(
+            [0, 1], {"a": [0.0, 0.0], "b": [1.0, 1.0]}, width=8, height=4
+        )
+        assert SERIES_GLYPHS[0] in out and SERIES_GLYPHS[1] in out
+
+    def test_y_axis_labels_min_max(self):
+        out = line_chart([0, 1], {"a": [2.0, 6.0]}, width=8, height=4)
+        assert "6.000" in out and "2.000" in out
+
+    def test_x_axis_labels_first_last(self):
+        out = line_chart([1, 20], {"a": [0.0, 1.0]}, width=8, height=4)
+        last = out.splitlines()[-1]
+        assert "1" in last and "20" in last
+
+    def test_constant_series_renders(self):
+        out = line_chart([0, 1, 2], {"flat": [1.0, 1.0, 1.0]}, width=9, height=4)
+        assert SERIES_GLYPHS[0] in out
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="two x points"):
+            line_chart([1], {"a": [1.0]})
+
+    def test_unsorted_x_rejected(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            line_chart([2, 1], {"a": [1.0, 2.0]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart([1, 2], {"a": [1.0]})
+
+    def test_small_height_rejected(self):
+        with pytest.raises(ValueError, match="height"):
+            line_chart([1, 2], {"a": [1.0, 2.0]}, height=2)
+
+    @given(
+        ys=st.lists(
+            st.floats(min_value=0, max_value=100), min_size=2, max_size=20
+        )
+    )
+    def test_property_grid_dimensions(self, ys):
+        xs = list(range(len(ys)))
+        out = line_chart(xs, {"s": ys}, width=30, height=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert len(rows) == 10
+        assert all(len(r.split("|", 1)[1]) == 30 for r in rows)
+
+
+# ----------------------------------------------------------------------
+# sparkline
+# ----------------------------------------------------------------------
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out == " .:-=+*#"
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0] * 7)) == 7
+
+    def test_constant_input_uses_lowest_level(self):
+        assert sparkline([5.0, 5.0]) == "  "
+
+    def test_min_and_max_hit_extremes(self):
+        out = sparkline([0.0, 10.0])
+        assert out[0] == " " and out[1] == "#"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sparkline([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=50))
+    def test_property_output_charset(self, values):
+        out = sparkline(values)
+        assert set(out) <= set(" .:-=+*#")

@@ -1,0 +1,94 @@
+"""Unit tests for ``repro.viz.table.TextTable``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz import TextTable
+
+
+class TestConstruction:
+    def test_default_alignment_first_left_rest_right(self):
+        t = TextTable(["name", "v1", "v2"])
+        assert t.aligns == ["<", ">", ">"]
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            TextTable([])
+
+    def test_align_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="aligns"):
+            TextTable(["a", "b"], aligns=["<"])
+
+    def test_format_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="formats"):
+            TextTable(["a"], formats=[None, ".2f"])
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError, match="alignment"):
+            TextTable(["a"], aligns=["|"])
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(ValueError, match="padding"):
+            TextTable(["a"], padding=0)
+
+
+class TestRendering:
+    def test_column_widths_fit_longest_cell(self):
+        t = TextTable(["name", "t"])
+        t.add_row(["a-very-long-benchmark-name", 1])
+        lines = t.render().splitlines()
+        assert len(lines[1]) >= len("a-very-long-benchmark-name")
+
+    def test_float_format_applied(self):
+        t = TextTable(["n", "x"], formats=[None, ".3f"])
+        t.add_row(["a", 1.23456])
+        assert "1.235" in t.render()
+
+    def test_none_renders_as_dash(self):
+        t = TextTable(["n", "x"])
+        t.add_row(["a", None])
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_footer_below_rule(self):
+        t = TextTable(["n", "x"])
+        t.add_row(["a", 1])
+        t.set_footer(["geomean", 1])
+        lines = t.render().splitlines()
+        assert "geomean" in lines[-1]
+        assert set(lines[-2]) <= {"-", " "}
+
+    def test_row_cell_count_mismatch_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_empty_table_render_rejected(self):
+        t = TextTable(["a"])
+        with pytest.raises(ValueError, match="empty"):
+            t.render()
+
+    def test_str_equals_render(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_num_rows_counts_data_rows_only(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        t.add_row([2])
+        t.set_footer([3])
+        assert t.num_rows == 2
+
+    def test_right_alignment_pads_left(self):
+        t = TextTable(["n", "val"], aligns=["<", ">"])
+        t.add_row(["a", 7])
+        data = t.render().splitlines()[-1]
+        assert data.endswith("7")
+
+    def test_header_separator_spans_all_columns(self):
+        t = TextTable(["aa", "bb"])
+        t.add_row(["x", "y"])
+        sep = t.render().splitlines()[1]
+        assert sep.split()  # two dashes groups
+        assert all(set(part) == {"-"} for part in sep.split())
