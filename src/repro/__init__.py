@@ -24,23 +24,28 @@ from repro.common import (
     baseline_protocol,
 )
 from repro.common.params import victim_replication_protocol
+from repro.runner import Job, ParallelRunner, ResultStore, SweepGrid
 from repro.sim import RunStats, Simulator
 from repro.workloads import WORKLOAD_NAMES, load_workload
 from repro.workloads.tracefile import load_trace, save_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessKind",
     "ArchConfig",
     "CacheGeometry",
     "EnergyConfig",
+    "Job",
     "MESIState",
     "MissType",
+    "ParallelRunner",
     "ProtocolConfig",
+    "ResultStore",
     "RunStats",
     "SharerMode",
     "Simulator",
+    "SweepGrid",
     "WORKLOAD_NAMES",
     "__version__",
     "baseline_protocol",

@@ -24,3 +24,7 @@ class CoherenceError(SimulationError):
 
 class TraceError(ReproError):
     """A workload produced a malformed trace (bad opcode, unbalanced locks...)."""
+
+
+class RunnerError(ReproError):
+    """The sweep execution engine failed (worker crash, bad job list...)."""

@@ -46,6 +46,14 @@ class CacheGeometry:
                 f"{self.num_sets} sets (must be a power of two)"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheGeometry":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+
     @property
     def num_lines(self) -> int:
         return self.size_kb * 1024 // self.line_size
@@ -161,6 +169,25 @@ class ArchConfig:
         if self.link_model not in ("epoch", "naive", "none"):
             raise ConfigError(f"unknown link_model {self.link_model!r}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`.
+
+        ``__post_init__`` fills ``memory_controller_tiles`` when empty, so the
+        serialized form is always fully resolved: two configs hash equal iff
+        they describe the same hardware.
+        """
+        data = dataclasses.asdict(self)
+        data["memory_controller_tiles"] = list(self.memory_controller_tiles)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchConfig":
+        kwargs = {f.name: data[f.name] for f in dataclasses.fields(cls)}
+        for level in ("l1i", "l1d", "l2"):
+            kwargs[level] = CacheGeometry.from_dict(kwargs[level])
+        kwargs["memory_controller_tiles"] = tuple(kwargs["memory_controller_tiles"])
+        return cls(**kwargs)
+
     @property
     def mesh_width(self) -> int:
         return int(math.isqrt(self.num_cores))
@@ -265,6 +292,14 @@ class ProtocolConfig:
         """Return a copy with ``changes`` applied (convenience for sweeps)."""
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProtocolConfig":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+
 
 #: Baseline configuration used as the normalization anchor in every figure.
 def baseline_protocol(directory: str = "ackwise") -> ProtocolConfig:
@@ -317,3 +352,11 @@ class EnergyConfig:
         for f in dataclasses.fields(self):
             if getattr(self, f.name) < 0:
                 raise ConfigError(f"energy {f.name} must be non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyConfig":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})

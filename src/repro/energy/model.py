@@ -16,6 +16,7 @@ Two modelling points from the paper are preserved:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.common.params import EnergyConfig
@@ -83,6 +84,15 @@ class EnergyBreakdown:
             "link": self.link,
             "total": self.total,
         }
+
+    def to_dict(self) -> dict[str, float]:
+        """Field-only mapping that round-trips exactly through :meth:`from_dict`
+        (unlike :meth:`as_dict`, which also reports the derived total)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
 
     def scaled(self, factor: float) -> "EnergyBreakdown":
         return EnergyBreakdown(

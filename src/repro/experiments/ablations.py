@@ -12,6 +12,10 @@ paper fixes:
   (the protocol's premise is that its benefit grows with core count);
 * :func:`vote_init_ablation` - the Section 5.3 remark: give the Complete
   classifier the Limited_k learning short-cut.
+
+Every ablation expands its grid into content-addressed jobs and submits the
+whole batch through the runner, so points sharing a configuration reuse
+cached results and pending points shard across workers like any sweep.
 """
 
 from __future__ import annotations
@@ -26,8 +30,8 @@ from repro.experiments.harness import (
     adaptive_protocol,
     bench_arch,
 )
-from repro.sim.multicore import Simulator
-from repro.workloads.registry import load_workload
+from repro.runner.job import Job
+from repro.runner.parallel import ParallelRunner
 
 #: Network-sensitive subset used by the ablations (kept small: every
 #: ablation point is a fresh simulation that cannot reuse the PCT sweep).
@@ -48,19 +52,21 @@ def link_model_ablation(
     lines = _header("Ablation: link model", title)
     lines.append(f"{'benchmark':<15}{'none':>9}{'epoch':>9}{'naive':>9}")
     proto = baseline_protocol()
+    models = ("none", "epoch", "naive")
+    jobs = [
+        runner.job(name, proto, arch=dataclasses.replace(runner.arch, link_model=model))
+        for name in workloads
+        for model in models
+    ]
+    stats = iter(runner.run_jobs(jobs))
     data: dict[str, dict[str, float]] = {}
     for name in workloads:
-        times: dict[str, float] = {}
-        for model in ("none", "epoch", "naive"):
-            arch = dataclasses.replace(runner.arch, link_model=model)
-            trace = load_workload(name, arch, scale=runner.scale)
-            stats = Simulator(arch, proto, warmup=runner.warmup).run(trace)
-            times[model] = stats.completion_time
+        times = {model: next(stats).completion_time for model in models}
         anchor = times["epoch"]
         row = {m: times[m] / anchor for m in times}
         data[name] = row
         lines.append(f"{name:<15}{row['none']:9.3f}{row['epoch']:9.3f}{row['naive']:9.3f}")
-    means = {m: geomean([data[n][m] for n in workloads]) for m in ("none", "epoch", "naive")}
+    means = {m: geomean([data[n][m] for n in workloads]) for m in models}
     data["geomean"] = means
     lines.append("-" * 76)
     lines.append(f"{'geomean':<15}{means['none']:9.3f}{means['epoch']:9.3f}{means['naive']:9.3f}")
@@ -85,13 +91,21 @@ def ackwise_pointer_sweep(
         f"{'benchmark':<15}" + "".join(f"{f'T(p={p})':>9}" for p in pointers)
         + "".join(f"{f'bc(p={p})':>9}" for p in pointers)
     )
+    jobs = [
+        runner.job(
+            name,
+            baseline_protocol(),
+            arch=dataclasses.replace(runner.arch, ackwise_pointers=p),
+        )
+        for name in workloads
+        for p in pointers
+    ]
+    results = iter(runner.run_jobs(jobs))
     data: dict[str, dict[int, dict[str, float]]] = {}
     for name in workloads:
         per_p: dict[int, dict[str, float]] = {}
         for p in pointers:
-            arch = dataclasses.replace(runner.arch, ackwise_pointers=p)
-            trace = load_workload(name, arch, scale=runner.scale)
-            stats = Simulator(arch, baseline_protocol(), warmup=runner.warmup).run(trace)
+            stats = next(results)
             rounds = stats.broadcast_invalidations + stats.unicast_invalidations
             per_p[p] = {
                 "time": stats.completion_time,
@@ -117,25 +131,32 @@ def core_count_scaling(
     workloads: tuple[str, ...] = ("streamcluster", "dijkstra-ss"),
     scale: str = "small",
     warmup: bool = True,
+    workers: int = 1,
 ) -> FigureResult:
     """Adaptive-vs-baseline benefit as the mesh grows.
 
     The paper's motivation: network distance (and with it the cost of
     line movement and invalidation rounds) grows with the mesh diameter,
     so the adaptive protocol's advantage should not shrink at higher core
-    counts.
+    counts.  Spans multiple architectures, so it runs on its own batch
+    runner rather than a figure ``ExperimentRunner``.
     """
     title = "Core-count scaling: adaptive/baseline completion time & energy"
     lines = _header("Ablation: core scaling", title)
     lines.append(f"{'benchmark':<15}{'cores':>7}{'T ratio':>9}{'E ratio':>9}")
+    protos = (baseline_protocol(), adaptive_protocol())
+    jobs = [
+        Job(workload=name, proto=proto, arch=bench_arch(n), scale=scale, warmup=warmup)
+        for name in workloads
+        for n in core_counts
+        for proto in protos
+    ]
+    stats = iter(ParallelRunner(workers=workers).run(jobs))
     data: dict[str, dict[int, tuple[float, float]]] = {}
     for name in workloads:
         per_n: dict[int, tuple[float, float]] = {}
         for n in core_counts:
-            arch = bench_arch(n)
-            trace = load_workload(name, arch, scale=scale)
-            base = Simulator(arch, baseline_protocol(), warmup=warmup).run(trace)
-            adapt = Simulator(arch, adaptive_protocol(), warmup=warmup).run(trace)
+            base, adapt = next(stats), next(stats)
             ratio = (
                 adapt.completion_time / base.completion_time,
                 adapt.energy.total / base.energy.total,
@@ -162,6 +183,7 @@ def vote_init_ablation(
     lines.append(f"{'benchmark':<15}{'T ratio':>9}{'E ratio':>9}")
     plain = adaptive_protocol(classifier="complete")
     shortcut = adaptive_protocol(classifier="complete", complete_vote_init=True)
+    runner.prefetch((n, p) for n in workloads for p in (plain, shortcut))
     data: dict[str, tuple[float, float]] = {}
     tr_all, er_all = [], []
     for name in workloads:

@@ -18,6 +18,7 @@ import time
 from repro.experiments.figures import FIGURES
 from repro.experiments.harness import ExperimentRunner, bench_arch
 from repro.experiments.storage import storage_table
+from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.workloads.registry import WORKLOAD_NAMES
 
 
@@ -44,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to a subset of benchmarks")
     parser.add_argument("--no-warmup", action="store_true",
                         help="measure the cold run instead of warmup+measure")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for simulation batches "
+                        "(default: 1 = in-process)")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+                        metavar="DIR",
+                        help="persist/reuse results in an on-disk cache "
+                        f"(default dir when bare: {DEFAULT_CACHE_DIR}); a warm "
+                        "cache reproduces every figure with zero simulations")
     return parser
 
 
@@ -79,13 +88,15 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         workloads=workloads,
         warmup=not args.no_warmup,
+        workers=args.workers,
+        store=ResultStore(args.cache) if args.cache else None,
     )
     for figure_id in wanted:
         start = time.time()
         result = FIGURES[figure_id](runner)
         print(result.text)
         print(f"[{result.figure} in {time.time() - start:.1f}s, "
-              f"{runner.cached_runs} cached runs]\n")
+              f"{runner.cached_runs} cached runs, {runner.simulations} simulated]\n")
     return 0
 
 

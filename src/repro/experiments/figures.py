@@ -50,6 +50,7 @@ def _header(figure: str, title: str) -> list[str]:
 # ----------------------------------------------------------------------
 def _utilization_figure(runner: ExperimentRunner, kind: str, figure: str) -> FigureResult:
     title = f"% of {kind} L1 lines by utilization (baseline)"
+    runner.prefetch((name, baseline_protocol()) for name in runner.workloads)
     lines = _header(figure, title)
     lines.append(f"{'benchmark':<15}" + "".join(f"{b:>8}" for b in UTILIZATION_BUCKETS))
     data: dict[str, dict[str, float]] = {}
@@ -77,6 +78,7 @@ def figure2_evictions(runner: ExperimentRunner) -> FigureResult:
 # ----------------------------------------------------------------------
 def figure8_energy(runner: ExperimentRunner, pcts=PCT_SWEEP_DETAIL) -> FigureResult:
     title = "Energy breakdown vs PCT (normalized to PCT=1)"
+    runner.prefetch((n, protocol_for_pct(p)) for n in runner.workloads for p in pcts)
     lines = _header("Figure 8", title)
     lines.append(
         f"{'benchmark':<15}{'pct':>4}" + "".join(f"{c:>9}" for c in ENERGY_COMPONENTS) + f"{'total':>9}"
@@ -110,6 +112,7 @@ def figure8_energy(runner: ExperimentRunner, pcts=PCT_SWEEP_DETAIL) -> FigureRes
 # ----------------------------------------------------------------------
 def figure9_completion_time(runner: ExperimentRunner, pcts=PCT_SWEEP_DETAIL) -> FigureResult:
     title = "Completion-time breakdown vs PCT (normalized to PCT=1)"
+    runner.prefetch((n, protocol_for_pct(p)) for n in runner.workloads for p in pcts)
     lines = _header("Figure 9", title)
     lines.append(
         f"{'benchmark':<15}{'pct':>4}" + "".join(f"{c:>10}" for c in TIME_COMPONENTS) + f"{'total':>9}"
@@ -143,6 +146,7 @@ def figure9_completion_time(runner: ExperimentRunner, pcts=PCT_SWEEP_DETAIL) -> 
 # ----------------------------------------------------------------------
 def figure10_miss_breakdown(runner: ExperimentRunner, pcts=PCT_SWEEP_MISS) -> FigureResult:
     title = "L1-D miss rate breakdown vs PCT (% of accesses)"
+    runner.prefetch((n, protocol_for_pct(p)) for n in runner.workloads for p in pcts)
     type_names = [mt.name.lower() for mt in MissType]
     lines = _header("Figure 10", title)
     lines.append(f"{'benchmark':<15}{'pct':>4}" + "".join(f"{t:>10}" for t in type_names) + f"{'total':>8}")
@@ -168,6 +172,7 @@ def figure10_miss_breakdown(runner: ExperimentRunner, pcts=PCT_SWEEP_MISS) -> Fi
 # ----------------------------------------------------------------------
 def figure11_geomean_sweep(runner: ExperimentRunner, pcts=PCT_SWEEP_WIDE) -> FigureResult:
     title = "Geomean completion time & energy vs PCT (normalized to PCT=1)"
+    runner.prefetch((n, protocol_for_pct(p)) for n in runner.workloads for p in pcts)
     lines = _header("Figure 11", title)
     lines.append(f"{'pct':>4}{'completion':>12}{'energy':>9}")
     time_anchor = {n: runner.run(n, protocol_for_pct(pcts[0])).completion_time for n in runner.workloads}
@@ -202,6 +207,7 @@ def figure12_rat_sensitivity(runner: ExperimentRunner) -> FigureResult:
         ("L-4,T-16", adaptive_protocol(n_rat_levels=4, rat_max=16)),
         ("L-8,T-16", adaptive_protocol(n_rat_levels=8, rat_max=16)),
     ]
+    runner.prefetch((n, proto) for n in runner.workloads for _, proto in configs)
     lines = _header("Figure 12", title)
     lines.append(f"{'config':<12}{'completion':>12}{'energy':>9}")
     time_anchor: dict[str, float] = {}
@@ -234,6 +240,12 @@ def figure13_limited_classifier(runner: ExperimentRunner, ks=(1, 3, 5, 7)) -> Fi
         header += f"{f'E(k={k})':>9}"
     lines.append(header)
     complete = adaptive_protocol(classifier="complete")
+    runner.prefetch(
+        (n, proto)
+        for n in runner.workloads
+        for proto in [complete]
+        + [adaptive_protocol(classifier="limited", limited_k=k) for k in ks]
+    )
     data: dict[str, dict[int, tuple[float, float]]] = {}
     tratios = {k: [] for k in ks}
     eratios = {k: [] for k in ks}
@@ -273,6 +285,7 @@ def figure14_one_way(runner: ExperimentRunner) -> FigureResult:
     lines.append(f"{'benchmark':<15}{'completion':>12}{'energy':>9}")
     two_way = adaptive_protocol()
     one_way = adaptive_protocol(one_way=True)
+    runner.prefetch((n, p) for n in runner.workloads for p in (two_way, one_way))
     data: dict[str, tuple[float, float]] = {}
     tratios, eratios = [], []
     for name in runner.workloads:
@@ -300,6 +313,7 @@ def ackwise_vs_fullmap(runner: ExperimentRunner) -> FigureResult:
     lines.append(f"{'benchmark':<15}{'T ack/full':>12}{'E ack/full':>12}")
     ack = baseline_protocol(directory="ackwise")
     full = baseline_protocol(directory="fullmap")
+    runner.prefetch((n, p) for n in runner.workloads for p in (ack, full))
     data: dict[str, tuple[float, float]] = {}
     tratios, eratios = [], []
     for name in runner.workloads:
@@ -341,6 +355,7 @@ def victim_replication_comparison(runner: ExperimentRunner) -> FigureResult:
     base = baseline_protocol()
     vr = victim_replication_protocol()
     adapt = adaptive_protocol()
+    runner.prefetch((n, p) for n in runner.workloads for p in (base, vr, adapt))
     data: dict[str, dict[str, float]] = {}
     vr_t, vr_e, ad_t, ad_e = [], [], [], []
     for name in runner.workloads:

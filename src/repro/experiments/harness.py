@@ -9,21 +9,30 @@ The harness is the engine behind every figure reproduction.  It provides
   and latencies unchanged) to preserve the working-set:cache pressure ratios
   the classifier reacts to.  Everything else (64 cores, mesh, ACKwise_4,
   DRAM) is Table 1 verbatim.
-* ``ExperimentRunner`` - builds each workload trace once and memoizes
-  ``RunStats`` per (workload, protocol configuration), so the many figures
-  that share sweep points (8, 9, 10, 11 all reuse the PCT sweep) never
-  re-simulate.
+* ``ExperimentRunner`` - a thin figure-facing façade over the sweep engine
+  in ``repro.runner``: every simulation point becomes a content-addressed
+  :class:`~repro.runner.job.Job`, executed through a
+  :class:`~repro.runner.parallel.ParallelRunner` (parallel when
+  ``workers > 1``, optionally persistent via a
+  :class:`~repro.runner.store.ResultStore`) and memoized in-process so the
+  many figures that share sweep points (8, 9, 10, 11 all reuse the PCT
+  sweep) never re-simulate.  Figure generators batch their whole grid up
+  front via :meth:`ExperimentRunner.prefetch`, so a cold run scales with
+  cores and a warm-cache run performs zero simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.common.params import ArchConfig, CacheGeometry, ProtocolConfig, baseline_protocol
-from repro.sim.multicore import Simulator
+from repro.runner.job import Job
+from repro.runner.parallel import ParallelRunner, build_trace, format_progress
+from repro.runner.store import ResultStore
 from repro.sim.stats import RunStats
 from repro.workloads.base import Trace
-from repro.workloads.registry import WORKLOAD_NAMES, load_workload
+from repro.workloads.registry import WORKLOAD_NAMES
 
 #: PCT sweep of Figures 8-10 (per-benchmark stacks).
 PCT_SWEEP_DETAIL: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
@@ -70,21 +79,6 @@ def protocol_for_pct(pct: int, **overrides) -> ProtocolConfig:
     return adaptive_protocol(pct, **overrides)
 
 
-def _proto_key(proto: ProtocolConfig) -> tuple:
-    return (
-        proto.protocol,
-        proto.pct,
-        proto.classifier,
-        proto.limited_k,
-        proto.remote_policy,
-        proto.rat_max,
-        proto.n_rat_levels,
-        proto.one_way,
-        proto.directory,
-        proto.complete_vote_init,
-    )
-
-
 @dataclass
 class ExperimentRunner:
     """Memoizing simulation runner shared by all figure reproductions."""
@@ -96,33 +90,61 @@ class ExperimentRunner:
     #: Warmup-then-measure (standard methodology): the first execution warms
     #: caches/classifier, only the second is measured.
     warmup: bool = True
+    #: Worker processes for batched execution (1 = in-process, no pool).
+    workers: int = 1
+    #: Optional on-disk result cache shared across sessions.
+    store: ResultStore | None = None
 
     def __post_init__(self) -> None:
-        self._traces: dict[str, Trace] = {}
-        self._results: dict[tuple[str, tuple], RunStats] = {}
+        self._results: dict[str, RunStats] = {}
+        self._runner = ParallelRunner(
+            store=self.store,
+            workers=self.workers,
+            progress=self._progress if self.verbose else None,
+        )
 
     # ------------------------------------------------------------------
+    def _progress(self, done: int, total: int, job: Job, source: str) -> None:
+        print(format_progress(done, total, job, source))
+
+    def job(self, workload: str, proto: ProtocolConfig, arch: ArchConfig | None = None) -> Job:
+        """The content-addressed job for one simulation point of this runner."""
+        return Job(
+            workload=workload,
+            proto=proto,
+            arch=self.arch if arch is None else arch,
+            scale=self.scale,
+            warmup=self.warmup,
+        )
+
     def trace(self, workload: str) -> Trace:
-        cached = self._traces.get(workload)
-        if cached is None:
-            cached = load_workload(workload, self.arch, scale=self.scale)
-            self._traces[workload] = cached
-        return cached
+        """The (memoized) trace a job of this runner would simulate."""
+        return build_trace(self.job(workload, baseline_protocol()))
+
+    # ------------------------------------------------------------------
+    def run_jobs(self, jobs: Sequence[Job]) -> list[RunStats]:
+        """Execute a batch of jobs; session-memoized, order-preserving."""
+        todo = [job for job in jobs if job.key not in self._results]
+        if todo:
+            for job, stats in zip(todo, self._runner.run(todo)):
+                self._results[job.key] = stats
+        return [self._results[job.key] for job in jobs]
+
+    def prefetch(self, points: Iterable[tuple[str, ProtocolConfig]]) -> None:
+        """Batch-execute (workload, protocol) points ahead of per-point reads.
+
+        Figure generators call this with their whole grid so pending points
+        run in parallel and the following ``run`` calls are memo lookups.
+        """
+        self.run_jobs([self.job(workload, proto) for workload, proto in points])
 
     def run(self, workload: str, proto: ProtocolConfig) -> RunStats:
-        key = (workload, _proto_key(proto))
-        cached = self._results.get(key)
-        if cached is None:
-            if self.verbose:
-                print(f"  simulating {workload} / {proto.protocol} pct={proto.pct} ...")
-            sim = Simulator(self.arch, proto, warmup=self.warmup)
-            cached = sim.run(self.trace(workload))
-            self._results[key] = cached
-        return cached
+        return self.run_jobs([self.job(workload, proto)])[0]
 
     # ------------------------------------------------------------------
     def pct_sweep(self, workload: str, pcts: tuple[int, ...]) -> dict[int, RunStats]:
-        return {pct: self.run(workload, protocol_for_pct(pct)) for pct in pcts}
+        stats = self.run_jobs([self.job(workload, protocol_for_pct(p)) for p in pcts])
+        return dict(zip(pcts, stats))
 
     def baseline(self, workload: str) -> RunStats:
         return self.run(workload, baseline_protocol())
@@ -130,6 +152,11 @@ class ExperimentRunner:
     @property
     def cached_runs(self) -> int:
         return len(self._results)
+
+    @property
+    def simulations(self) -> int:
+        """Simulations actually executed (memo/store hits excluded)."""
+        return self._runner.simulations
 
 
 #: Process-wide runner shared by the pytest-benchmark suite so figures that

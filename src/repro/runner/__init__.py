@@ -1,0 +1,35 @@
+"""Sweep execution engine: parallel, resumable, content-addressed.
+
+The runner turns experiment execution into a first-class service:
+
+* :class:`~repro.runner.job.Job` - canonical, hashable description of one
+  simulation point (arch + protocol + energy + workload + scale + seed +
+  warmup) with deterministic content hashing;
+* :class:`~repro.runner.store.ResultStore` - on-disk JSONL cache mapping job
+  hash to fully serialized :class:`~repro.sim.stats.RunStats`;
+* :class:`~repro.runner.parallel.ParallelRunner` - shards pending jobs over
+  spawn-safe ``multiprocessing`` workers, with graceful in-process fallback
+  at ``workers=1`` and progress callbacks;
+* :class:`~repro.runner.sweep.SweepGrid` - cartesian workload x protocol x
+  PCT grid expansion behind the ``repro sweep`` CLI verb.
+"""
+
+from repro.runner.job import JOB_SCHEMA, Job, canonical_json
+from repro.runner.parallel import ParallelRunner, build_trace, execute_job
+from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.runner.sweep import FIGURE11_PCTS, SweepGrid, sweep_rows, sweep_table
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FIGURE11_PCTS",
+    "JOB_SCHEMA",
+    "Job",
+    "ParallelRunner",
+    "ResultStore",
+    "SweepGrid",
+    "build_trace",
+    "canonical_json",
+    "execute_job",
+    "sweep_rows",
+    "sweep_table",
+]

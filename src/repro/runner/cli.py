@@ -1,0 +1,179 @@
+"""Unified command-line entry point: ``repro``.
+
+Examples::
+
+    repro sweep                                  # Figure-11 grid, all workloads
+    repro sweep --workloads radix tsp --pct 1 4 8 --workers 8
+    repro sweep --protocols pct victim --json results.json
+    repro cache info                             # result-cache contents
+    repro cache clear                            # drop cached results
+    repro figures --figure 11                    # delegate to repro-experiments
+    repro trace stats out.traceb                 # delegate to repro-trace
+
+``sweep`` expands a workload x protocol x PCT grid into jobs, executes them
+through the parallel runner with the on-disk result cache, and prints a table
+(or writes JSON).  A warm cache re-runs the whole grid with zero simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.common.errors import ReproError
+from repro.runner.parallel import ParallelRunner, format_progress
+from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.runner.sweep import (
+    FIGURE11_PCTS,
+    PROTOCOL_FAMILIES,
+    grid_from_args,
+    sweep_rows,
+    sweep_table,
+)
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sweep execution engine for the locality-aware coherence "
+        "protocol reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run a workload x protocol x PCT grid")
+    sweep.add_argument("--workloads", nargs="+", metavar="NAME", default=None,
+                       help="benchmarks to sweep (default: all 21)")
+    sweep.add_argument("--pct", nargs="+", type=int, default=list(FIGURE11_PCTS),
+                       help="PCT values (default: the Figure-11 grid)")
+    sweep.add_argument("--protocols", nargs="+", choices=PROTOCOL_FAMILIES,
+                       default=["pct"],
+                       help="protocol families (default: pct = the paper's "
+                       "sweep convention, PCT=1 is the baseline)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default: 1 = in-process)")
+    sweep.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
+    sweep.add_argument("--cores", type=int, default=64)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="trace-variant seed (default 0 = canonical traces)")
+    sweep.add_argument("--no-warmup", action="store_true")
+    sweep.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                       help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="run without reading or writing the result cache")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write rows as JSON to PATH ('-' = stdout) instead "
+                       "of a table")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR")
+
+    # Delegating verbs: argument parsing happens in the delegate (main()
+    # forwards everything after the verb verbatim; argparse's REMAINDER
+    # cannot, since it refuses leading optionals like ``figures --figure 11``).
+    sub.add_parser(
+        "figures", help="reproduce paper figures (delegates to repro-experiments)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "trace", help="trace-file tools (delegates to repro-trace)", add_help=False
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_sweep(args) -> int:
+    workloads = tuple(args.workloads) if args.workloads else WORKLOAD_NAMES
+    grid = grid_from_args(
+        workloads=workloads,
+        families=tuple(args.protocols),
+        pcts=tuple(args.pct),
+        num_cores=args.cores,
+        scale=args.scale,
+        warmup=not args.no_warmup,
+        seed=args.seed,
+    )
+    store = None if args.no_cache else ResultStore(args.cache)
+
+    def progress(done: int, total: int, job, source: str) -> None:
+        if not args.quiet:
+            print(format_progress(done, total, job, source), file=sys.stderr)
+
+    runner = ParallelRunner(store=store, workers=args.workers, progress=progress)
+    jobs = grid.jobs()
+    print(f"sweep: {grid.describe()}, workers={args.workers}", file=sys.stderr)
+    start = time.time()
+    results = runner.run(jobs)
+    elapsed = time.time() - start
+
+    rows = sweep_rows(jobs, results)
+    if args.json is not None:
+        payload = json.dumps(rows, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}: {len(rows)} rows", file=sys.stderr)
+    else:
+        print(sweep_table(rows))
+    cache_note = ""
+    if store is not None:
+        cache_note = f", cache: {store.hits} hits / {store.misses} misses"
+    print(
+        f"[{len(rows)} jobs in {elapsed:.1f}s, "
+        f"{runner.simulations} simulated{cache_note}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = ResultStore(args.cache)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached results from {store.path}")
+        return 0
+    print(store.describe())
+    by_workload: dict[str, int] = {}
+    for job in store.jobs():
+        by_workload[job["workload"]] = by_workload.get(job["workload"], 0) + 1
+    for name in sorted(by_workload):
+        print(f"  {name:<15} {by_workload[name]} results")
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "figures":
+        from repro.experiments.cli import main as figures_main
+
+        return figures_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.experiments.tracecli import main as trace_main
+
+        return trace_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Parallel sweep execution: shard pending jobs across worker processes.
+
+``ParallelRunner`` turns a list of :class:`~repro.runner.job.Job` into a list
+of :class:`~repro.sim.stats.RunStats`:
+
+1. deduplicate jobs by content hash (figure sweeps share many points);
+2. satisfy what it can from the :class:`~repro.runner.store.ResultStore`;
+3. execute the remainder - in-process when ``workers <= 1``, else sharded
+   over a ``multiprocessing`` pool - and persist each result as it lands.
+
+Worker processes are **spawn-safe**: the pool is created from the ``spawn``
+context (the fork-unsafe-by-default world of macOS/Windows and of threaded
+parents), and workers receive only the serialized job payload.  Each worker
+rebuilds ``ArchConfig``/``ProtocolConfig``/``Simulator`` from that payload
+and regenerates the trace through the workload registry under
+``rng.seed_scope(job.seed)``, memoizing it per ``trace_key`` so a PCT sweep
+builds each trace once per worker, and deriving every random stream from the
+job itself - never from inherited process state (see DESIGN.md, "Runner and
+result cache").
+
+Results cross the process boundary as ``RunStats.to_dict()`` payloads - the
+exact representation the cache persists - and the serial path round-trips
+through the same representation, so serial, parallel, and cached executions
+of one job are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.common import rng
+from repro.common.errors import RunnerError
+from repro.runner.job import Job
+from repro.runner.store import ResultStore
+from repro.sim.multicore import Simulator
+from repro.sim.stats import RunStats
+from repro.workloads.base import Trace
+from repro.workloads.registry import load_workload
+
+#: Progress callback: (completed, total, job, source) with source one of
+#: "cache", "serial", "parallel".
+ProgressFn = Callable[[int, int, Job, str], None]
+
+
+def format_progress(done: int, total: int, job: Job, source: str) -> str:
+    """The one progress-line format shared by every CLI/harness frontend."""
+    return f"  [{done}/{total}] {job.describe()} ({source})"
+
+#: Per-process trace memo, keyed by ``Job.trace_key``.  In the parent it backs
+#: serial execution; in pool workers it persists across jobs for the lifetime
+#: of the worker process.  Bounded LRU: sweeps visit one trace's jobs in
+#: bursts, so a small window captures nearly all reuse while keeping ablations
+#: that span many arch variants (each variant = a distinct trace) from
+#: pinning every trace ever built for the process lifetime.
+_TRACE_CACHE: dict[str, Trace] = {}
+_TRACE_CACHE_MAX = 32
+
+
+def build_trace(job: Job) -> Trace:
+    """Regenerate ``job``'s trace deterministically (no process state).
+
+    The trace depends only on (workload, scale, seed, arch); ``seed_scope``
+    pins the salt for the duration of the build so concurrent sweeps with
+    different seeds cannot interleave incorrectly.
+    """
+    cached = _TRACE_CACHE.get(job.trace_key)
+    if cached is None:
+        with rng.seed_scope(job.seed):
+            cached = load_workload(job.workload, job.arch, scale=job.scale)
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[job.trace_key] = cached
+    else:
+        # Move to the back so hot traces survive eviction (dict = LRU order).
+        _TRACE_CACHE.pop(job.trace_key)
+        _TRACE_CACHE[job.trace_key] = cached
+    return cached
+
+
+def execute_job(job: Job) -> RunStats:
+    """Run one simulation point from scratch: trace + simulator from configs."""
+    simulator = Simulator(job.arch, job.proto, energy=job.energy, warmup=job.warmup)
+    return simulator.run(build_trace(job))
+
+
+def _worker_run(payload: dict) -> tuple[str, dict]:
+    """Pool entry point: serialized job in, (key, serialized stats) out."""
+    job = Job.from_dict(payload)
+    return job.key, execute_job(job).to_dict()
+
+
+@dataclass
+class ParallelRunner:
+    """Executes job batches with caching, deduplication and worker sharding."""
+
+    store: ResultStore | None = None
+    workers: int = 1
+    progress: ProgressFn | None = None
+    #: ``multiprocessing`` start method.  "spawn" works everywhere and proves
+    #: workers carry no inherited state; "fork" is faster where available.
+    start_method: str = "spawn"
+
+    #: Simulations actually executed by this runner (cache misses).
+    simulations: int = 0
+
+    #: Worker pool, created lazily on the first parallel batch and kept for
+    #: the runner's lifetime: a figure gallery submits one batch per figure,
+    #: and reusing the pool preserves both the spawn startup cost and each
+    #: worker's trace memo across batches.  Terminated by :meth:`close` (or
+    #: the pool's own GC finalizer; workers are daemonic either way).
+    _pool: object = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job] | Iterable[Job]) -> list[RunStats]:
+        """Execute ``jobs``; returns stats aligned with the input order.
+
+        Duplicate jobs (same content hash) are executed once and share the
+        returned ``RunStats`` object.
+        """
+        jobs = list(jobs)
+        unique: dict[str, Job] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+
+        results: dict[str, RunStats] = {}
+        pending: list[Job] = []
+        total = len(unique)
+        done = 0
+        for key, job in unique.items():
+            cached = self.store.get(job) if self.store is not None else None
+            if cached is not None:
+                results[key] = cached
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, job, "cache")
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                self._run_serial(pending, results, done, total)
+            else:
+                self._run_parallel(pending, results, done, total)
+
+        missing = [unique[k].describe() for k in unique if k not in results]
+        if missing:
+            raise RunnerError(f"jobs produced no result: {missing}")
+        return [results[job.key] for job in jobs]
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        job: Job,
+        payload: dict,
+        results: dict[str, RunStats],
+        done: int,
+        total: int,
+        source: str,
+    ) -> int:
+        """Record one completed simulation; returns the new done count."""
+        if self.store is not None:
+            self.store.put(job, payload)
+        results[job.key] = RunStats.from_dict(payload)
+        self.simulations += 1
+        done += 1
+        if self.progress is not None:
+            self.progress(done, total, job, source)
+        return done
+
+    def _run_serial(
+        self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
+    ) -> None:
+        for job in pending:
+            payload = execute_job(job).to_dict()
+            done = self._finish(job, payload, results, done, total, "serial")
+
+    def _run_parallel(
+        self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
+    ) -> None:
+        by_key = {job.key: job for job in pending}
+        payloads = [job.to_dict() for job in pending]
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(processes=self.workers)
+        try:
+            for key, payload in self._pool.imap_unordered(_worker_run, payloads):
+                done = self._finish(by_key[key], payload, results, done, total, "parallel")
+        except RunnerError:
+            raise
+        except Exception as exc:  # worker crash: surface which engine failed
+            self.close()
+            raise RunnerError(f"worker pool failed: {exc}") from exc
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent; a new one spawns on demand)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

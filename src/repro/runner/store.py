@@ -1,0 +1,117 @@
+"""On-disk, content-addressed result cache for simulation runs.
+
+``ResultStore`` maps :class:`~repro.runner.job.Job` content hashes to fully
+serialized :class:`~repro.sim.stats.RunStats`, persisted as JSON-lines under
+a cache directory (default ``.repro-cache/``).  Properties:
+
+* **content-addressed** - the key covers every field that can change a
+  result, so any config change (a different ``pct``, ``ackwise_pointers``,
+  scale, seed...) is automatically a miss, while re-running an identical
+  sweep is pure cache hits;
+* **append-only JSONL** - one line per result; loading replays the log and
+  keeps the last entry per key, so interrupted runs lose at most the line
+  being written and concurrent *processes* never corrupt existing data;
+* **instrumented** - ``hits``/``misses``/``stores`` counters let callers
+  (and the acceptance tests) verify that a warm-cache sweep performed zero
+  simulations;
+* **schema-versioned** - entries from an incompatible schema are ignored on
+  load rather than misinterpreted.
+
+Only the coordinating process writes (workers hand results back to the
+parent), so no file locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runner.job import JOB_SCHEMA, Job
+from repro.sim.stats import RunStats
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+_RESULTS_FILE = "results.jsonl"
+
+
+class ResultStore:
+    """Durable job-hash -> RunStats mapping with hit/miss accounting."""
+
+    def __init__(self, path: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(path)
+        self.path = self.directory / _RESULTS_FILE
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._entries: dict[str, dict] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                if record.get("schema") != JOB_SCHEMA:
+                    continue
+                key = record.get("key")
+                if isinstance(key, str) and "stats" in record:
+                    self._entries[key] = record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.key in self._entries
+
+    def get(self, job: Job) -> RunStats | None:
+        """Cached stats for ``job``, counting the lookup as a hit or miss."""
+        record = self._entries.get(job.key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunStats.from_dict(record["stats"])
+
+    def put(self, job: Job, stats: RunStats | dict) -> None:
+        """Persist ``stats`` for ``job`` (appends one JSONL record)."""
+        payload = stats.to_dict() if isinstance(stats, RunStats) else stats
+        record = {
+            "schema": JOB_SCHEMA,
+            "key": job.key,
+            "job": job.to_dict(),
+            "stats": payload,
+        }
+        self._entries[job.key] = record
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def jobs(self) -> list[dict]:
+        """Serialized job descriptions of every cached result (for tooling)."""
+        return [record["job"] for record in self._entries.values()]
+
+    def clear(self) -> int:
+        """Drop all entries (and the backing file); returns entries removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        if self.path.exists():
+            self.path.unlink()
+        return removed
+
+    def describe(self) -> str:
+        return (
+            f"{self.path}: {len(self._entries)} results, "
+            f"{self.hits} hits / {self.misses} misses / {self.stores} stores this session"
+        )

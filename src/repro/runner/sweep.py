@@ -1,0 +1,187 @@
+"""Sweep construction: cartesian (workload x protocol x PCT) job grids.
+
+The paper's evaluation is one big sweep; this module makes "add a config
+point" cost one entry in a grid instead of a hand-written loop.  Used by the
+``repro sweep`` CLI verb and available as a library API::
+
+    from repro.runner import ParallelRunner, ResultStore, SweepGrid
+
+    grid = SweepGrid(workloads=("radix", "tsp"), pcts=(1, 2, 4, 8))
+    results = ParallelRunner(store=ResultStore(), workers=8).run(grid.jobs())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    ArchConfig,
+    EnergyConfig,
+    ProtocolConfig,
+    baseline_protocol,
+    victim_replication_protocol,
+)
+from repro.runner.job import Job
+from repro.sim.stats import RunStats
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: The Figure-11 PCT grid (the widest sweep in the paper).
+FIGURE11_PCTS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20)
+
+#: Protocol families selectable in a sweep.  "pct" follows the paper's sweep
+#: convention (PCT=1 *is* the baseline directory protocol); "adaptive" forces
+#: the adaptive protocol even at PCT=1.
+PROTOCOL_FAMILIES = ("pct", "adaptive", "baseline", "victim")
+
+
+def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig]:
+    if family == "baseline":
+        return [baseline_protocol()]
+    if family == "victim":
+        return [victim_replication_protocol()]
+    protos = []
+    for pct in pcts:
+        if family == "pct" and pct <= 1:
+            protos.append(baseline_protocol())
+        else:
+            protos.append(
+                ProtocolConfig(protocol="adaptive", pct=pct, rat_max=max(16, pct))
+            )
+    return protos
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A cartesian sweep: workloads x protocol families x PCT values."""
+
+    workloads: tuple[str, ...] = WORKLOAD_NAMES
+    families: tuple[str, ...] = ("pct",)
+    pcts: tuple[int, ...] = FIGURE11_PCTS
+    arch: ArchConfig = field(default_factory=ArchConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    scale: str = "small"
+    warmup: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.workloads) - set(WORKLOAD_NAMES)
+        if unknown:
+            raise ConfigError(f"unknown workloads: {sorted(unknown)}")
+        bad = set(self.families) - set(PROTOCOL_FAMILIES)
+        if bad:
+            raise ConfigError(
+                f"unknown protocol families: {sorted(bad)} (choose from {PROTOCOL_FAMILIES})"
+            )
+        if not self.pcts:
+            raise ConfigError("sweep needs at least one PCT value")
+        if any(pct < 1 for pct in self.pcts):
+            raise ConfigError(f"pct values must be >= 1, got {self.pcts}")
+
+    # ------------------------------------------------------------------
+    def protocols(self) -> list[ProtocolConfig]:
+        """The protocol axis, deduplicated while preserving order."""
+        protos: list[ProtocolConfig] = []
+        for family in self.families:
+            for proto in _family_protocols(family, self.pcts):
+                if proto not in protos:
+                    protos.append(proto)
+        return protos
+
+    def jobs(self) -> list[Job]:
+        """Expand the grid into a job list (workload-major order)."""
+        return [
+            Job(
+                workload=name,
+                proto=proto,
+                arch=self.arch,
+                energy=self.energy,
+                scale=self.scale,
+                warmup=self.warmup,
+                seed=self.seed,
+            )
+            for name in self.workloads
+            for proto in self.protocols()
+        ]
+
+    def describe(self) -> str:
+        n_protos = len(self.protocols())
+        return (
+            f"{len(self.workloads)} workloads x {n_protos} protocol points "
+            f"= {len(self.workloads) * n_protos} jobs "
+            f"({self.arch.num_cores} cores, scale={self.scale})"
+        )
+
+
+# ----------------------------------------------------------------------
+def sweep_rows(jobs: list[Job], results: list[RunStats]) -> list[dict]:
+    """Flatten (job, stats) pairs into table/JSON-ready row dicts."""
+    rows = []
+    for job, stats in zip(jobs, results):
+        rows.append(
+            {
+                "workload": job.workload,
+                "protocol": job.proto.protocol,
+                "pct": job.proto.pct,
+                "completion_time": stats.completion_time,
+                "energy": stats.energy.total,
+                "l1d_miss_rate": stats.miss.miss_rate,
+                "network_flits": stats.network_flits,
+                "remote_accesses": stats.remote_accesses,
+                "key": job.key,
+            }
+        )
+    return rows
+
+
+def sweep_table(rows: list[dict]) -> str:
+    """Fixed-width text table of sweep rows (one line per job)."""
+    lines = [
+        f"{'workload':<15}{'protocol':<10}{'pct':>4}{'completion':>14}"
+        f"{'energy(nJ)':>12}{'miss%':>7}{'flits':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<15}{row['protocol']:<10}{row['pct']:>4}"
+            f"{row['completion_time']:>14,.0f}{row['energy'] / 1e3:>12,.1f}"
+            f"{100 * row['l1d_miss_rate']:>7.2f}{row['network_flits']:>12,}"
+        )
+    return "\n".join(lines)
+
+
+def grid_from_args(
+    workloads: tuple[str, ...],
+    families: tuple[str, ...],
+    pcts: tuple[int, ...],
+    num_cores: int,
+    scale: str,
+    warmup: bool,
+    seed: int,
+) -> SweepGrid:
+    """Build a grid from CLI-style arguments, using the benchmark arch.
+
+    Imported lazily from the CLI to keep ``repro.runner`` importable without
+    the experiments layer.
+    """
+    from repro.experiments.harness import bench_arch
+
+    return SweepGrid(
+        workloads=workloads,
+        families=families,
+        pcts=pcts,
+        arch=bench_arch(num_cores),
+        scale=scale,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+__all__ = [
+    "FIGURE11_PCTS",
+    "PROTOCOL_FAMILIES",
+    "SweepGrid",
+    "grid_from_args",
+    "sweep_rows",
+    "sweep_table",
+]

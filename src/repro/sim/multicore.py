@@ -209,7 +209,7 @@ class Simulator:
         breakdowns: list[LatencyBreakdown],
     ) -> RunStats:
         instructions = trace.instructions
-        # Instruction fetches are modeled analytically (DESIGN.md): the
+        # Instruction fetches are modeled analytically (DESIGN.md decision 3): the
         # in-order core already pays 1 cycle/instruction and R-NUCA's
         # cluster replication keeps the instruction stream resident in L1-I,
         # so L1-I contributes energy proportional to instruction count.

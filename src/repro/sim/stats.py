@@ -14,6 +14,7 @@ These map one-to-one onto the paper's evaluation metrics (Section 4.4):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.common.statsutil import UTILIZATION_BUCKETS, bucket_percentages, utilization_bucket
@@ -72,6 +73,15 @@ class LatencyBreakdown:
             "total": self.total,
         }
 
+    def to_dict(self) -> dict[str, float]:
+        """Field-only mapping that round-trips exactly through :meth:`from_dict`
+        (unlike :meth:`as_dict`, which also reports the derived total)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyBreakdown":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+
 
 class MissStats:
     """L1-D access/hit/miss counts with per-type miss classification."""
@@ -114,6 +124,22 @@ class MissStats:
             return {mt.name.lower(): 0.0 for mt in MissType}
         return {mt.name.lower(): self._miss_counts[mt] / total for mt in MissType}
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`.
+
+        Miss types are keyed by name, not enum index, so stored results stay
+        readable and survive reordering of ``MissType``.
+        """
+        return {"hits": self.hits, "by_type": self.breakdown()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissStats":
+        stats = cls()
+        stats.hits = int(data["hits"])
+        for name, count in data["by_type"].items():
+            stats._miss_counts[MissType[name.upper()]] = int(count)
+        return stats
+
 
 class UtilizationHistogram:
     """Counts of removed L1 lines bucketed by utilization (Figures 1-2)."""
@@ -134,6 +160,16 @@ class UtilizationHistogram:
 
     def percentages(self) -> dict[str, float]:
         return bucket_percentages(self.counts)
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready mapping that round-trips through :meth:`from_dict`."""
+        return dict(self.counts)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UtilizationHistogram":
+        hist = cls()
+        hist.counts = {bucket: int(data.get(bucket, 0)) for bucket in UTILIZATION_BUCKETS}
+        return hist
 
 
 @dataclass
@@ -165,9 +201,47 @@ class RunStats:
     replica_invalidations: int = 0
     replica_evictions: int = 0
 
+    #: Fields serialized via their own to_dict/from_dict rather than as scalars.
+    _COMPOSITE_FIELDS = ("latency", "miss", "energy", "inval_histogram", "evict_histogram")
+
     @property
     def l1d_miss_rate(self) -> float:
         return self.miss.miss_rate
+
+    def to_dict(self) -> dict:
+        """Fully serialize the run for the on-disk result cache.
+
+        Derived from ``dataclasses.fields`` so counters added later are
+        picked up automatically; only the five composite members need
+        explicit handling.  Floats survive the JSON round-trip exactly
+        (shortest-repr float serialization), so
+        ``RunStats.from_dict(s.to_dict())`` is bit-identical to ``s``.
+        """
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in self._COMPOSITE_FIELDS
+        }
+        out["latency"] = self.latency.to_dict()
+        out["miss"] = self.miss.to_dict()
+        out["energy"] = self.energy.to_dict()
+        out["inval_histogram"] = self.inval_histogram.to_dict()
+        out["evict_histogram"] = self.evict_histogram.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        kwargs = {
+            f.name: data[f.name]
+            for f in dataclasses.fields(cls)
+            if f.name not in cls._COMPOSITE_FIELDS
+        }
+        kwargs["latency"] = LatencyBreakdown.from_dict(data["latency"])
+        kwargs["miss"] = MissStats.from_dict(data["miss"])
+        kwargs["energy"] = EnergyBreakdown.from_dict(data["energy"])
+        kwargs["inval_histogram"] = UtilizationHistogram.from_dict(data["inval_histogram"])
+        kwargs["evict_histogram"] = UtilizationHistogram.from_dict(data["evict_histogram"])
+        return cls(**kwargs)
 
     def summary(self) -> dict[str, float]:
         """Compact scalar view used by the experiment harness."""

@@ -1,6 +1,8 @@
 """Deterministic RNG derivation tests."""
 
-from repro.common.rng import derive_seed, make_rng
+import pytest
+
+from repro.common.rng import current_seed_salt, derive_seed, make_rng, seed_scope
 
 
 def test_derive_seed_deterministic():
@@ -22,3 +24,42 @@ def test_make_rng_distinct_streams():
     a = make_rng("x", 1).random()
     b = make_rng("x", 2).random()
     assert a != b
+
+
+class TestSeedScope:
+    def test_zero_salt_is_identity(self):
+        unsalted = derive_seed("radix", 3)
+        with seed_scope(0):
+            assert derive_seed("radix", 3) == unsalted
+
+    def test_salt_changes_every_derivation(self):
+        unsalted = derive_seed("radix", 3)
+        with seed_scope(7):
+            assert derive_seed("radix", 3) != unsalted
+
+    def test_distinct_salts_distinct_streams(self):
+        with seed_scope(1):
+            one = derive_seed("radix", 3)
+        with seed_scope(2):
+            two = derive_seed("radix", 3)
+        assert one != two
+
+    def test_scope_restores_on_exit_and_error(self):
+        assert current_seed_salt() == 0
+        with seed_scope(5):
+            assert current_seed_salt() == 5
+            with seed_scope(9):
+                assert current_seed_salt() == 9
+            assert current_seed_salt() == 5
+        assert current_seed_salt() == 0
+        with pytest.raises(RuntimeError):
+            with seed_scope(3):
+                raise RuntimeError("boom")
+        assert current_seed_salt() == 0
+
+    def test_salted_derivation_still_deterministic(self):
+        with seed_scope(42):
+            first = [make_rng("x", 1).random() for _ in range(3)]
+        with seed_scope(42):
+            second = [make_rng("x", 1).random() for _ in range(3)]
+        assert first == second

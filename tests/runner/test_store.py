@@ -1,0 +1,100 @@
+"""ResultStore: exact round-trips, hit/miss accounting, durability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.harness import adaptive_protocol, bench_arch
+from repro.runner.job import Job
+from repro.runner.parallel import execute_job
+from repro.runner.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def job() -> Job:
+    return Job(workload="tsp", proto=adaptive_protocol(4), arch=bench_arch(16), scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def stats(job):
+    return execute_job(job)
+
+
+class TestRoundTrip:
+    def test_get_returns_bit_identical_stats(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        loaded = store.get(job)
+        assert loaded is not stats
+        assert json.dumps(loaded.to_dict(), sort_keys=True) == json.dumps(
+            stats.to_dict(), sort_keys=True
+        )
+        assert loaded.completion_time == stats.completion_time
+        assert loaded.energy == stats.energy
+        assert loaded.latency.total == stats.latency.total
+        assert loaded.miss.breakdown() == stats.miss.breakdown()
+        assert loaded.inval_histogram.counts == stats.inval_histogram.counts
+
+    def test_survives_reopen(self, tmp_path, job, stats):
+        ResultStore(tmp_path).put(job, stats)
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert job in reopened
+        assert reopened.get(job).to_dict() == stats.to_dict()
+
+    def test_config_change_misses(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        other = Job(
+            workload=job.workload,
+            proto=adaptive_protocol(5),
+            arch=job.arch,
+            scale=job.scale,
+        )
+        assert store.get(other) is None
+
+
+class TestCounters:
+    def test_hits_misses_stores(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        assert store.get(job) is None
+        assert (store.hits, store.misses, store.stores) == (0, 1, 0)
+        store.put(job, stats)
+        assert store.stores == 1
+        assert store.get(job) is not None
+        assert (store.hits, store.misses) == (1, 1)
+
+
+class TestRobustness:
+    def test_torn_and_alien_lines_ignored(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"truncated": \n')
+            fh.write(json.dumps({"schema": 9999, "key": "x", "stats": {}}) + "\n")
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+
+    def test_last_write_wins(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        doctored = stats.to_dict()
+        doctored["instructions"] += 1
+        store.put(job, doctored)
+        reopened = ResultStore(tmp_path)
+        assert reopened.get(job).instructions == stats.instructions + 1
+
+    def test_clear(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert not store.path.exists()
+        assert ResultStore(tmp_path).get(job) is None
+
+    def test_describe_mentions_counts(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        assert "1 results" in store.describe()
