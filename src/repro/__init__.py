@@ -23,13 +23,13 @@ from repro.common import (
     SharerMode,
     baseline_protocol,
 )
-from repro.common.params import victim_replication_protocol
+from repro.common.params import dls_protocol, neat_protocol, victim_replication_protocol
 from repro.runner import Job, ParallelRunner, ResultStore, SweepGrid
 from repro.sim import RunStats, Simulator
 from repro.workloads import WORKLOAD_NAMES, load_workload
 from repro.workloads.tracefile import load_trace, save_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessKind",
@@ -49,8 +49,10 @@ __all__ = [
     "WORKLOAD_NAMES",
     "__version__",
     "baseline_protocol",
+    "dls_protocol",
     "load_trace",
     "load_workload",
+    "neat_protocol",
     "save_trace",
     "victim_replication_protocol",
 ]

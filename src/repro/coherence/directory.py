@@ -85,6 +85,34 @@ class FullMapPolicy(SharerTrackingPolicy):
     """Classic full-map directory: one presence bit per core."""
 
 
+class NullSharerPolicy(SharerTrackingPolicy):
+    """No sharer tracking at all (``directory="none"``).
+
+    Used by the directoryless protocol families (DLS, Neat): the home keeps
+    no per-line coherence state, so every tracking operation is a no-op and
+    the Section 3.6 storage accounting reports zero bits per entry.  An
+    engine wired to this policy must never rely on sharer identities -
+    ``use_broadcast`` is unreachable because no invalidation is ever sent.
+    """
+
+    name = "none"
+
+    def add_sharer(self, entry: DirectoryEntry, core: int) -> None:
+        pass
+
+    def remove_sharer(self, entry: DirectoryEntry, core: int) -> None:
+        pass
+
+    def set_owner(self, entry: DirectoryEntry, core: int) -> None:
+        pass
+
+    def clear_owner(self, entry: DirectoryEntry) -> None:
+        pass
+
+    def storage_bits_per_entry(self) -> int:
+        return 0
+
+
 class AckwisePolicy(SharerTrackingPolicy):
     """ACKwise_p limited directory."""
 
@@ -118,6 +146,8 @@ class AckwisePolicy(SharerTrackingPolicy):
 
 def make_sharer_policy(proto: ProtocolConfig, num_cores: int, pointers: int) -> SharerTrackingPolicy:
     """Instantiate the configured sharer-tracking policy."""
+    if proto.directory == "none":
+        return NullSharerPolicy(num_cores)
     if proto.directory == "fullmap":
         return FullMapPolicy(num_cores)
     return AckwisePolicy(num_cores, pointers)

@@ -215,14 +215,46 @@ class ArchConfig:
         return self.memory_controller_tiles[line % self.num_memory_controllers]
 
 
+#: Every selectable coherence protocol family, in presentation order.
+PROTOCOL_NAMES: tuple[str, ...] = ("baseline", "adaptive", "victim", "dls", "neat")
+
+#: Families that keep no sharer-tracking directory at the home.
+DIRECTORYLESS_PROTOCOLS: frozenset[str] = frozenset({"dls", "neat"})
+
+#: Canonical values pinned onto directoryless configs: the PCT/classifier
+#: knobs are inert for these families, so they are normalized away to keep
+#: equality and job content-hashing canonical - two configs that describe
+#: the same machine must hash the same.
+_DIRECTORYLESS_CANONICAL: dict[str, object] = {
+    "pct": 1,
+    "classifier": "limited",
+    "limited_k": 3,
+    "remote_policy": "rat",
+    "rat_max": 16,
+    "n_rat_levels": 2,
+    "one_way": False,
+    "complete_vote_init": False,
+    "directory": "none",
+}
+
+
 @dataclass(frozen=True)
 class ProtocolConfig:
-    """Coherence protocol + locality classifier options (Sections 3.2-3.7)."""
+    """Coherence protocol + locality classifier options (Sections 3.2-3.7).
+
+    Beyond the paper's own families, two comparison baselines from related
+    work (PAPERS.md) are first-class protocols: "dls" (directoryless shared
+    LLC - every access is a word access at the home slice) and "neat"
+    (self-invalidation/self-downgrade coherence without sharer tracking).
+    Both are directoryless: ``directory`` is normalized to "none" and the
+    classifier options are inert for them.
+    """
 
     #: "baseline" = plain directory protocol (everything private; the paper's
     #: PCT=1 anchor). "adaptive" = the locality-aware protocol. "victim" =
     #: the Victim Replication comparison point (Section 2.1): baseline
     #: directory protocol + local-L2 victim caching of L1 evictions.
+    #: "dls" / "neat" = the related-work comparison baselines above.
     protocol: str = "adaptive"
 
     #: Private Caching Threshold (Section 3.5). Utilization >= pct keeps a
@@ -248,12 +280,15 @@ class ProtocolConfig:
     #: classifier always does this when reallocating a slot.
     complete_vote_init: bool = False
 
-    #: Sharer-tracking directory: "ackwise" (default) or "fullmap".
+    #: Sharer-tracking directory: "ackwise" (default), "fullmap", or "none"
+    #: (forced for - and only valid with - the directoryless families).
     directory: str = "ackwise"
 
     def __post_init__(self) -> None:
-        if self.protocol not in ("baseline", "adaptive", "victim"):
+        if self.protocol not in PROTOCOL_NAMES:
             raise ConfigError(f"unknown protocol {self.protocol!r}")
+        if self.directory not in ("ackwise", "fullmap", "none"):
+            raise ConfigError(f"unknown directory {self.directory!r}")
         if self.pct < 1:
             raise ConfigError(f"pct must be >= 1, got {self.pct}")
         if self.classifier not in ("limited", "complete"):
@@ -268,8 +303,17 @@ class ProtocolConfig:
             )
         if self.n_rat_levels < 1:
             raise ConfigError(f"n_rat_levels must be >= 1, got {self.n_rat_levels}")
-        if self.directory not in ("ackwise", "fullmap"):
-            raise ConfigError(f"unknown directory {self.directory!r}")
+        if self.directory == "none" and self.protocol not in DIRECTORYLESS_PROTOCOLS:
+            raise ConfigError(
+                f"protocol {self.protocol!r} requires a sharer-tracking directory"
+            )
+        if self.protocol in DIRECTORYLESS_PROTOCOLS:
+            # Validated above, now normalized: the PCT/classifier knobs (and
+            # the absent directory) are inert for directoryless families, so
+            # pin them - ProtocolConfig(protocol="dls") == dls_protocol(),
+            # and equivalent configs share one job content hash.
+            for name, value in _DIRECTORYLESS_CANONICAL.items():
+                object.__setattr__(self, name, value)
 
     @property
     def is_adaptive(self) -> bool:
@@ -289,7 +333,20 @@ class ProtocolConfig:
         return tuple(self.pct + round(span * i / steps) for i in range(self.n_rat_levels))
 
     def replaced(self, **changes) -> "ProtocolConfig":
-        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        """Return a copy with ``changes`` applied (convenience for sweeps).
+
+        Switching a directoryless config back to a directory family would
+        carry the pinned ``directory="none"`` into a config that rejects
+        it, so the directory reverts to the default unless the caller
+        chooses one explicitly.
+        """
+        target = changes.get("protocol", self.protocol)
+        if (
+            "directory" not in changes
+            and self.directory == "none"
+            and target not in DIRECTORYLESS_PROTOCOLS
+        ):
+            changes["directory"] = "ackwise"
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict:
@@ -311,6 +368,23 @@ def victim_replication_protocol(directory: str = "ackwise") -> ProtocolConfig:
     """Victim Replication (Section 2.1): baseline directory + local-slice
     victim caching of L1 evictions."""
     return ProtocolConfig(protocol="victim", pct=1, directory=directory)
+
+
+def dls_protocol() -> ProtocolConfig:
+    """DLS comparison baseline (PAPERS.md): directoryless shared LLC.
+
+    Every access is a word-granularity access at the R-NUCA home slice; no
+    private caching, no sharer tracking, no invalidations."""
+    return ProtocolConfig(protocol="dls", pct=1, directory="none")
+
+
+def neat_protocol() -> ProtocolConfig:
+    """Neat comparison baseline (PAPERS.md): self-invalidation/self-downgrade
+    coherence without sharer tracking.
+
+    Stores write through to the home (eager self-downgrade); clean read
+    copies self-invalidate when the line is written by another core."""
+    return ProtocolConfig(protocol="neat", pct=1, directory="none")
 
 
 @dataclass(frozen=True)

@@ -395,6 +395,70 @@ def victim_replication_comparison(runner: ExperimentRunner) -> FigureResult:
     return FigureResult("Extension VR", title, data, "\n".join(lines))
 
 
+# ----------------------------------------------------------------------
+# Extension: five-way protocol-family comparison (ROADMAP baselines).
+# ----------------------------------------------------------------------
+def protocol_families_comparison(runner: ExperimentRunner) -> FigureResult:
+    """All five protocol families side by side, normalized to the baseline.
+
+    One column pair (completion time, energy) per family: the paper's
+    ACKwise directory baseline (the anchor), Victim Replication
+    (Section 2.1), DLS (directoryless shared LLC - every access a word
+    round-trip to the home) and Neat (self-invalidation/self-downgrade
+    without sharer tracking) from PAPERS.md, and the locality-aware
+    adaptive protocol at the paper's optimum PCT=4.  The expected shape:
+    DLS wins only where R-NUCA keeps homes local, Neat pays write-through
+    traffic on store-heavy sharing, and the adaptive protocol tracks the
+    best of both per line.
+    """
+    from repro.common.params import dls_protocol, neat_protocol, victim_replication_protocol
+
+    title = "Protocol families: completion time & energy (normalized to baseline)"
+    families: list[tuple[str, ProtocolConfig]] = [
+        ("baseline", baseline_protocol()),
+        ("victim", victim_replication_protocol()),
+        ("dls", dls_protocol()),
+        ("neat", neat_protocol()),
+        ("adaptive", adaptive_protocol()),
+    ]
+    runner.prefetch((n, proto) for n in runner.workloads for _, proto in families)
+    labels = [label for label, _ in families]
+    lines = _header("Extension Families", title)
+    lines.append(
+        f"{'benchmark':<15}"
+        + "".join(f"{f'T({lbl})':>12}" for lbl in labels)
+        + "".join(f"{f'E({lbl})':>12}" for lbl in labels)
+    )
+    data: dict[str, dict[str, tuple[float, float]]] = {}
+    tratios: dict[str, list[float]] = {lbl: [] for lbl in labels}
+    eratios: dict[str, list[float]] = {lbl: [] for lbl in labels}
+    for name in runner.workloads:
+        ref = runner.run(name, families[0][1])
+        row: dict[str, tuple[float, float]] = {}
+        for label, proto in families:
+            stats = runner.run(name, proto)
+            tr = stats.completion_time / ref.completion_time
+            er = stats.energy.total / ref.energy.total
+            row[label] = (tr, er)
+            tratios[label].append(tr)
+            eratios[label].append(er)
+        data[name] = row
+        lines.append(
+            f"{name:<15}"
+            + "".join(f"{row[lbl][0]:12.3f}" for lbl in labels)
+            + "".join(f"{row[lbl][1]:12.3f}" for lbl in labels)
+        )
+    summary = {lbl: (geomean(tratios[lbl]), geomean(eratios[lbl])) for lbl in labels}
+    data["geomean"] = summary
+    lines.append("-" * 76)
+    lines.append(
+        f"{'geomean':<15}"
+        + "".join(f"{summary[lbl][0]:12.3f}" for lbl in labels)
+        + "".join(f"{summary[lbl][1]:12.3f}" for lbl in labels)
+    )
+    return FigureResult("Extension Families", title, data, "\n".join(lines))
+
+
 #: Registry used by the CLI: figure id -> generator.
 FIGURES = {
     "1": figure1_invalidations,
@@ -408,4 +472,5 @@ FIGURES = {
     "14": figure14_one_way,
     "ackwise-vs-fullmap": ackwise_vs_fullmap,
     "victim-replication": victim_replication_comparison,
+    "protocol-families": protocol_families_comparison,
 }

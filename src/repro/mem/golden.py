@@ -20,6 +20,10 @@ class GoldenMemory:
     def __init__(self) -> None:
         self._lines: dict[int, list[int]] = {}
 
+    def lines(self) -> list[int]:
+        """Line numbers of every line ever written (for final-state sweeps)."""
+        return list(self._lines)
+
     def line_snapshot(self, line: int) -> list[int]:
         """Return a copy of the 8 words of ``line`` (zero-filled if untouched)."""
         words = self._lines.get(line)

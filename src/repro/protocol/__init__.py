@@ -1,5 +1,24 @@
-"""The locality-aware adaptive coherence protocol engine."""
+"""Coherence protocol engines: one pluggable family per module."""
 
-from repro.protocol.engine import AccessResult, ProtocolEngine
+from repro.protocol.base import AccessResult, ProtocolEngineBase
+from repro.protocol.engine import (
+    ENGINE_CLASSES,
+    DLSEngine,
+    DirectoryEngine,
+    NeatEngine,
+    ProtocolEngine,
+    VictimReplicationEngine,
+    make_engine,
+)
 
-__all__ = ["AccessResult", "ProtocolEngine"]
+__all__ = [
+    "ENGINE_CLASSES",
+    "AccessResult",
+    "DLSEngine",
+    "DirectoryEngine",
+    "NeatEngine",
+    "ProtocolEngine",
+    "ProtocolEngineBase",
+    "VictimReplicationEngine",
+    "make_engine",
+]

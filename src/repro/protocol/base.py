@@ -1,0 +1,385 @@
+"""The ``ProtocolEngine`` interface: shared machinery for every coherence
+protocol family.
+
+A protocol engine services every memory reference of one simulated multicore:
+``access(core, is_write, address, now)`` returns an :class:`AccessResult`
+whose latency decomposition feeds the Figure-9 completion-time stack.  The
+engine owns the substrate every family shares:
+
+* the mesh network, memory subsystem and R-NUCA home placement;
+* the per-core L1s and per-tile L2 slices (with their statistics);
+* energy counters, miss statistics and the utilization histograms;
+* the off-chip path: ``_l2_fill`` (inclusive-fill from DRAM) and
+  ``_evict_l2_line`` (write-back + the per-family L1-purge hook);
+* golden-memory verification plumbing (write tokens, the DRAM image, and
+  the end-of-run ``check_final_state`` sweep used by the differential
+  property harness).
+
+Concrete families implement :meth:`access` plus the purge hooks:
+
+* ``repro.protocol.directory`` - the directory-based families (``baseline``,
+  ``adaptive``; ``victim`` extends it with local-L2 victim replication);
+* ``repro.protocol.dls`` - the directoryless shared-LLC comparison baseline;
+* ``repro.protocol.neat`` - the self-invalidation/self-downgrade comparison
+  baseline.
+
+``repro.protocol.engine.make_engine`` maps ``ProtocolConfig.protocol`` to the
+family class.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.errors import SimulationError
+from repro.common.params import ArchConfig, ProtocolConfig
+from repro.common.types import MESIState, MissType
+from repro.coherence.classifier.limited import make_classifier
+from repro.coherence.directory import make_sharer_policy
+from repro.energy.model import EnergyCounters
+from repro.mem.golden import GoldenMemory
+from repro.mem.l1 import L1Cache
+from repro.mem.l2 import L2Line, L2Slice
+from repro.mem.memctrl import MemorySubsystem
+from repro.network.mesh import MeshNetwork
+from repro.network.messages import MsgType
+from repro.rnuca.placement import RNucaPlacement
+from repro.sim.stats import MissStats, UtilizationHistogram
+
+# Per-(core, line) history flags used for miss classification (Section 4.4).
+_EVER_CACHED = 1  # line was previously brought into this core's L1
+_LAST_REMOVAL_INVAL = 2  # last removal was an invalidation (else eviction)
+_EVER_REMOTE = 4  # line was previously accessed remotely by this core
+
+
+class AccessResult:
+    """Latency decomposition of one memory access."""
+
+    __slots__ = (
+        "latency",
+        "l1_to_l2",
+        "l2_waiting",
+        "l2_sharers",
+        "l2_offchip",
+        "hit",
+        "miss_type",
+        "remote",
+    )
+
+    def __init__(self) -> None:
+        self.latency = 0.0
+        self.l1_to_l2 = 0.0
+        self.l2_waiting = 0.0
+        self.l2_sharers = 0.0
+        self.l2_offchip = 0.0
+        self.hit = False
+        self.miss_type: MissType | None = None
+        self.remote = False
+
+
+class ProtocolEngineBase:
+    """Coherence protocol + memory hierarchy for one simulated multicore."""
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        proto: ProtocolConfig,
+        verify: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.proto = proto
+        self.verify = verify
+
+        self.network = MeshNetwork(arch)
+        self.memsys = MemorySubsystem(arch)
+        self.placement = RNucaPlacement(arch)
+        self.sharer_policy = make_sharer_policy(proto, arch.num_cores, arch.ackwise_pointers)
+        self.classifier = make_classifier(proto) if proto.is_adaptive else None
+
+        self.l1d = [L1Cache(arch.l1d, keep_data=verify) for _ in range(arch.num_cores)]
+        self.l2 = [L2Slice(arch.l2, keep_data=verify) for _ in range(arch.num_cores)]
+
+        self.energy = EnergyCounters()
+        self.miss_stats = MissStats()
+        self.inval_histogram = UtilizationHistogram()
+        self.evict_histogram = UtilizationHistogram()
+
+        self.golden = GoldenMemory() if verify else None
+        self._dram_image: dict[int, list[int]] = {}
+        self._write_token = 0
+
+        self._history: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
+        self._home_of_line: dict[int, int] = {}
+
+        # Cheap int aliases for the hot path.
+        self._l2_latency = arch.l2.latency
+        self._words_per_line = arch.words_per_line
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all measurement counters, keeping microarchitectural state.
+
+        Used for warmup runs (standard simulator methodology): the caches,
+        directory, classifier modes and network/DRAM reservations stay warm
+        while hit/miss counts, energy events, histograms and traffic
+        counters restart for the measured run.
+        """
+        self.energy = EnergyCounters()
+        self.miss_stats = MissStats()
+        self.inval_histogram = UtilizationHistogram()
+        self.evict_histogram = UtilizationHistogram()
+        net = self.network
+        net.router_flit_traversals = 0
+        net.link_flit_traversals = 0
+        net.messages_sent = 0
+        net.flits_sent = 0
+        for ctrl in self.memsys.controllers.values():
+            ctrl.requests = 0
+            ctrl.bytes_transferred = 0
+            ctrl.total_queue_delay = 0.0
+        for l1 in self.l1d:
+            l1.hits = 0
+            l1.misses = 0
+        for slice_ in self.l2:
+            slice_.hits = 0
+            slice_.misses = 0
+            slice_.word_reads = 0
+            slice_.word_writes = 0
+            slice_.line_reads = 0
+            slice_.line_writes = 0
+        if self.classifier is not None:
+            self.classifier.promotions = 0
+            self.classifier.demotions = 0
+            self.classifier.remote_accesses = 0
+            self.classifier.vote_decisions = 0
+        self.sharer_policy.broadcast_invalidations = 0
+        self.sharer_policy.unicast_invalidations = 0
+
+    # ==================================================================
+    # Public entry point - implemented by each protocol family.
+    # ==================================================================
+    def access(self, core: int, is_write: bool, address: int, now: float) -> AccessResult:
+        """Service one load/store issued by ``core`` at time ``now``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _classify_miss(flags: int, upgrade: bool, serviced_remote: bool) -> MissType:
+        if upgrade:
+            return MissType.UPGRADE
+        if serviced_remote and flags & _EVER_REMOTE:
+            return MissType.WORD
+        if not flags & _EVER_CACHED:
+            return MissType.COLD
+        if flags & _LAST_REMOVAL_INVAL:
+            return MissType.SHARING
+        return MissType.CAPACITY
+
+    # ------------------------------------------------------------------
+    # Home-side access preamble, shared by every family's miss path.
+    # ------------------------------------------------------------------
+    def _request_at_home(
+        self, core: int, line: int, req_msg: MsgType, now: float, result: AccessResult
+    ) -> tuple[int, L2Slice, L2Line, float]:
+        """Deliver a request to the line's home slice, ready for service.
+
+        Performs the sequence every protocol family shares: R-NUCA home
+        resolution (flushing a private page's old slice on a private ->
+        shared transition), the request unicast, per-line serialization
+        ("L2 cache waiting time", recorded into ``result``), the L2 tag
+        access, and the off-chip fill on an L2 miss (recorded into
+        ``result.l2_offchip``).  Returns ``(home, slice_, l2line, t)`` with
+        ``t`` the time service at the home may begin.
+        """
+        home, flush_owner = self.placement.data_home(line, core)
+        if flush_owner is not None:
+            self._flush_private_page(line, flush_owner, now)
+        t = self.network.unicast(core, home, req_msg, now)
+        slice_ = self.l2[home]
+        l2line = slice_.lookup(line)
+        if l2line is not None and l2line.busy_until > t:
+            result.l2_waiting = l2line.busy_until - t
+            t = l2line.busy_until
+        t += self._l2_latency
+        self.energy.l2_tag_accesses += 1
+        if l2line is None:
+            slice_.misses += 1
+            l2line, t, result.l2_offchip = self._l2_fill(home, line, t)
+        else:
+            slice_.hits += 1
+        return home, slice_, l2line, t
+
+    # ------------------------------------------------------------------
+    # Word service at the home L2 (shared by the remote path of the
+    # adaptive protocol and by the DLS / Neat families).
+    # ------------------------------------------------------------------
+    def _service_word_at_home(
+        self,
+        core: int,
+        is_write: bool,
+        line: int,
+        word: int,
+        l2line: L2Line,
+        home: int,
+        slice_: L2Slice,
+        t: float,
+    ) -> float:
+        if is_write:
+            slice_.word_writes += 1
+            self.energy.l2_word_writes += 1
+            l2line.dirty = True
+            if self.verify:
+                self._write_token += 1
+                l2line.data[word] = self._write_token
+                self.golden.write_word(line, word, self._write_token)
+            reply = MsgType.WORD_WRITE_ACK
+        else:
+            slice_.word_reads += 1
+            self.energy.l2_word_reads += 1
+            if self.verify:
+                self.golden.check_read(line, word, l2line.data[word], f"remote read core {core}")
+            reply = MsgType.WORD_REPLY
+        return self.network.unicast(home, core, reply, t)
+
+    # ------------------------------------------------------------------
+    # L2 miss: fetch the line from off-chip memory.
+    # ------------------------------------------------------------------
+    def _l2_fill(self, home: int, line: int, t: float) -> tuple[L2Line, float, float]:
+        slice_ = self.l2[home]
+        victim = slice_.victim(line)
+        if victim is not None:
+            self._evict_l2_line(home, victim[0], victim[1], t)
+            slice_.remove(victim[0])
+
+        ctrl = self.memsys.controller_for_line(line)
+        req_t = self.network.unicast(home, ctrl.tile, MsgType.MEM_READ_REQ, t)
+        finish, _queue = ctrl.access(req_t, self.arch.line_size)
+        reply_t = self.network.unicast(ctrl.tile, home, MsgType.MEM_READ_REPLY, finish)
+
+        data = None
+        if self.verify:
+            data = self._dram_image.get(line)
+            data = list(data) if data is not None else [0] * self._words_per_line
+        evicted = slice_.fill(line, reply_t, data)
+        if evicted is not None:  # cannot happen: victim handled above
+            raise SimulationError("L2 fill evicted after explicit victim handling")
+        l2line = slice_.lookup(line)
+        self._install_line_state(l2line)
+        self.energy.l2_line_writes += 1
+        self._home_of_line[line] = home
+        return l2line, reply_t, reply_t - t
+
+    def _install_line_state(self, l2line: L2Line) -> None:
+        """Attach per-family home-side state to a freshly filled L2 line.
+
+        The directory families attach a sharer-tracking ``DirectoryEntry``;
+        DLS and Neat keep no home-side coherence state at all, so the
+        default is a no-op (``l2line.directory`` stays None).
+        """
+
+    # ------------------------------------------------------------------
+    def _evict_l2_line(self, home: int, vline: int, ventry: L2Line, t: float) -> None:
+        """L2 eviction: purge dependent L1 state, write back if dirty.
+
+        The per-family part - what happens to private copies of the dying
+        line - is delegated to :meth:`_purge_copies_for_l2_eviction`; the
+        write-back itself (off the requester's critical path, documented
+        approximation) is identical for every family and fully accounted.
+        """
+        self._purge_copies_for_l2_eviction(home, vline, ventry, t)
+        if ventry.dirty:
+            self.energy.l2_line_reads += 1
+            ctrl = self.memsys.controller_for_line(vline)
+            self.network.unicast(home, ctrl.tile, MsgType.MEM_WRITE, t)
+            ctrl.access(t, self.arch.line_size)
+            if self.verify:
+                self.golden.check_line(vline, ventry.data, f"L2 eviction at tile {home}")
+                self._dram_image[vline] = list(ventry.data)
+        self._home_of_line.pop(vline, None)
+
+    def _purge_copies_for_l2_eviction(self, home: int, vline: int, ventry: L2Line, t: float) -> None:
+        """Family hook: resolve private copies of an L2 line being evicted.
+
+        Inclusive directory families invalidate every L1 copy (collecting
+        write-backs); DLS caches nothing privately; Neat tolerates the stale
+        copies (they are clean and version-checked on their next use).
+        """
+
+    # ------------------------------------------------------------------
+    # R-NUCA private -> shared page transition: flush the old home slice.
+    # ------------------------------------------------------------------
+    def _flush_private_page(self, line: int, old_owner: int, t: float) -> None:
+        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
+        slice_ = self.l2[old_owner]
+        for pline in addrmod.lines_in_page(page, self.arch.page_size):
+            ventry = slice_.lookup(pline)
+            if ventry is not None:
+                self._evict_l2_line(old_owner, pline, ventry, t)
+                slice_.remove(pline)
+
+    # ------------------------------------------------------------------
+    def _verified_l1_write(self, entry, line: int, word: int) -> None:
+        self._write_token += 1
+        entry.data[word] = self._write_token
+        self.golden.write_word(line, word, self._write_token)
+
+    # ------------------------------------------------------------------
+    # End-of-run functional verification (differential harness).
+    # ------------------------------------------------------------------
+    def final_line_value(self, line: int) -> list[int]:
+        """The architecturally observable value of ``line`` right now.
+
+        Authority order: a MODIFIED private copy (SWMR guarantees at most
+        one) > the home L2 line > the DRAM image.  Families without private
+        ownership (DLS, Neat) simply never hit the first case.
+        """
+        for l1 in self.l1d:
+            entry = l1.lookup(line)
+            if (
+                entry is not None
+                and entry.state is MESIState.MODIFIED
+                and entry.data is not None
+            ):
+                return list(entry.data)
+        home = self._home_of_line.get(line)
+        if home is not None:
+            l2line = self.l2[home].lookup(line)
+            if l2line is not None and not l2line.is_replica and l2line.data is not None:
+                return list(l2line.data)
+        image = self._dram_image.get(line)
+        if image is not None:
+            return list(image)
+        return [0] * self._words_per_line
+
+    def check_final_state(self) -> None:
+        """Verify-mode sweep: no write may be lost even if never re-read.
+
+        Walks every line the golden memory knows about and checks the
+        observable value (L1 owner copy / home L2 / DRAM image) against the
+        golden image; raises ``CoherenceError`` on the first divergence.
+        """
+        if self.golden is None:
+            raise SimulationError("check_final_state requires verify mode")
+        for line in sorted(self.golden.lines()):
+            self.golden.check_line(line, self.final_line_value(line), "final state")
+
+    # ------------------------------------------------------------------
+    def export_stats(self, stats) -> None:
+        """Copy family-specific counters onto a ``RunStats`` instance.
+
+        The base exports nothing; families with extra counters (victim
+        replication, Neat) override.  Keeps ``Simulator`` family-agnostic.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests.
+    # ------------------------------------------------------------------
+    def l1_state(self, core: int, line: int) -> MESIState:
+        entry = self.l1d[core].lookup(line)
+        return entry.state if entry is not None else MESIState.INVALID
+
+    def directory_entry(self, line: int):
+        home = self._home_of_line.get(line)
+        if home is None:
+            return None
+        l2line = self.l2[home].lookup(line)
+        return l2line.directory if l2line is not None else None

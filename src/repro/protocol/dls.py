@@ -1,0 +1,82 @@
+"""DLS: Directoryless Shared last-level cache (Liu et al.; PAPERS.md).
+
+DLS removes the sharer-tracking directory altogether: no private cache ever
+holds a copy of shared data, so there is nothing to keep coherent.  Every
+data reference is serviced at the line's shared-LLC home slice with a
+word-granularity access - exactly the "remote sharer" service of the
+locality-aware protocol, applied unconditionally to every access.
+
+What this family models (and what it deliberately does not - see DESIGN.md,
+"Comparison-baseline protocol families"):
+
+* **No L1 data caching.**  Every load/store is a word round-trip to the
+  R-NUCA home slice.  The private L1-D is unused, the L1-D miss rate is
+  100% by construction, and the *only* locality lever is R-NUCA placement:
+  private pages live in the requester's own slice, so DLS degrades
+  gracefully on thread-local data and pays the full mesh diameter on
+  shared data - the trade-off the paper's remote-access mode inherits.
+  The in-order core model charges its per-reference L1-D probe (one
+  cycle) to every protocol, DLS included; the matching tag-access energy
+  event is charged here so the completion-time and energy columns of the
+  family comparison stay mutually consistent.
+* **No directory state.**  L2 lines carry no ``DirectoryEntry``, no sharer
+  pointers, no locality state (``ProtocolConfig`` pins ``directory="none"``
+  and storage accounting reports zero bits/entry).  Invalidations,
+  write-backs and upgrade transactions do not exist.
+* **Word-access serialization.**  Word writes hold the home line until
+  serviced; word reads pipeline through the banked L2 (one-cycle
+  occupancy), the same Section 5.1.2 rule as the adaptive protocol's
+  remote accesses, so DLS and the adaptive protocol's remote mode are
+  timed identically - the comparison isolates the *policy*, not the
+  plumbing.
+
+Functional verification runs unchanged: word writes update the golden
+memory in service order and word reads are checked against it, so the
+differential harness can assert DLS equivalence with every other family.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.network.messages import MsgType
+from repro.protocol.base import _EVER_REMOTE, AccessResult, ProtocolEngineBase
+
+
+class DLSEngine(ProtocolEngineBase):
+    """Directoryless shared-LLC engine: every access is a remote word access."""
+
+    def access(self, core: int, is_write: bool, address: int, now: float) -> AccessResult:
+        """Service one load/store as a word round-trip to the home slice."""
+        line = address >> addrmod.LINE_BITS
+        word = (address >> addrmod.WORD_BITS) & (self._words_per_line - 1)
+        # The core model pays the 1-cycle L1-D probe on every reference
+        # (sim/multicore.py); charge the matching tag-access energy so the
+        # timing and energy models agree (see module docstring).
+        self.energy.l1d_tag_accesses += 1
+        result = AccessResult()
+        result.remote = True
+
+        # ---- request to the home slice (writes carry the data word).
+        req_msg = MsgType.WRITE_REQ if is_write else MsgType.READ_REQ
+        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+
+        # ---- every access is a miss: first touch is cold, then word.
+        flags = self._history[core].get(line, 0)
+        result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=True)
+        self.miss_stats.record_miss(result.miss_type)
+        self._history[core][line] = flags | _EVER_REMOTE
+
+        reply_t = self._service_word_at_home(core, is_write, line, word, l2line, home, slice_, t)
+
+        # ---- settle timing: writes serialize, word reads pipeline.
+        if is_write:
+            l2line.busy_until = t
+        else:
+            busy = t - self._l2_latency + 1.0
+            if busy > l2line.busy_until:
+                l2line.busy_until = busy
+        slice_.touch(l2line, t)
+
+        result.latency = reply_t - now
+        result.l1_to_l2 = result.latency - result.l2_waiting - result.l2_offchip
+        return result

@@ -1,649 +1,64 @@
-"""The Locality-Aware Adaptive Coherence protocol engine (Section 3).
+"""Protocol-engine factory and backward-compatible entry point.
 
-This module services every L1 miss the way the paper's hardware would:
+The engine itself lives in per-family modules:
 
-* computes the R-NUCA home slice for the line (flushing a private page's old
-  slice when it transitions to shared);
-* serializes requests to the same line at the home L2 ("L2 cache waiting
-  time");
-* fetches the line from off-chip memory on an L2 miss (inclusive L2, so an
-  L2 eviction invalidates all L1 copies first);
-* asks the locality classifier whether the requester is a **private** or a
-  **remote** sharer and services the miss accordingly:
+* :mod:`repro.protocol.base` - the shared :class:`ProtocolEngineBase`
+  interface (network/memory substrate, off-chip path, verification);
+* :mod:`repro.protocol.directory` - directory families (``baseline``,
+  ``adaptive``);
+* :mod:`repro.protocol.victim` - Victim Replication (directory + local-L2
+  victim caching);
+* :mod:`repro.protocol.dls` - directoryless shared LLC;
+* :mod:`repro.protocol.neat` - self-invalidation/self-downgrade coherence.
 
-  - private read  -> synchronous write-back from an exclusive owner if any,
-    then a full line reply (E if no other sharers, else S);
-  - private write -> invalidation round to all other sharers (ACKwise
-    unicast or broadcast), then an M-state line reply (header-only grant for
-    an upgrade);
-  - remote read   -> word read at the home L2, word reply;
-  - remote write  -> invalidation round, then word write at the home L2;
-
-* tracks private utilization in L1 tags, remote utilization + mode (+ RAT
-  level / timestamps) at the directory, performing promotion on remote
-  accesses and demotion when L1 copies are evicted or invalidated;
-* accounts every message (flit-accurate, Section 3.6 rules), every cache/
-  directory access (for the energy model) and the four L2-side latency
-  components of Section 4.4.
-
-The engine is *globally magic*: requests are serviced atomically in
-simulation order while all latencies come from the network/DRAM/serialization
-models.  This is the standard trace-driven methodology; per-line
-serialization keeps the coherence order well defined.
+:func:`make_engine` maps ``ProtocolConfig.protocol`` to the family class;
+``ProtocolEngine`` remains the name of the directory engine, which predates
+the split (the locality-aware protocol of the source paper *is* a directory
+protocol).
 """
 
 from __future__ import annotations
 
-from repro.common import addr as addrmod
-from repro.common.errors import CoherenceError, SimulationError
+from repro.common.errors import ConfigError
 from repro.common.params import ArchConfig, ProtocolConfig
-from repro.common.types import MESIState, MissType, RemovalReason, SharerMode
-from repro.coherence.classifier.limited import make_classifier
-from repro.coherence.directory import DirectoryEntry, make_sharer_policy
-from repro.energy.model import EnergyCounters
-from repro.mem.golden import GoldenMemory
-from repro.mem.l1 import L1Cache
-from repro.mem.l2 import L2Line, L2Slice
-from repro.mem.memctrl import MemorySubsystem
-from repro.network.mesh import MeshNetwork
-from repro.network.messages import MsgType
-from repro.rnuca.placement import RNucaPlacement
-from repro.sim.stats import MissStats, UtilizationHistogram
+from repro.protocol.base import AccessResult, ProtocolEngineBase
+from repro.protocol.directory import DirectoryEngine
+from repro.protocol.dls import DLSEngine
+from repro.protocol.neat import NeatEngine
+from repro.protocol.victim import VictimReplicationEngine
 
-# Per-(core, line) history flags used for miss classification (Section 4.4).
-_EVER_CACHED = 1  # line was previously brought into this core's L1
-_LAST_REMOVAL_INVAL = 2  # last removal was an invalidation (else eviction)
-_EVER_REMOTE = 4  # line was previously accessed remotely by this core
+#: Backward-compatible name: the directory engine (baseline/adaptive).
+ProtocolEngine = DirectoryEngine
 
-
-class AccessResult:
-    """Latency decomposition of one memory access."""
-
-    __slots__ = (
-        "latency",
-        "l1_to_l2",
-        "l2_waiting",
-        "l2_sharers",
-        "l2_offchip",
-        "hit",
-        "miss_type",
-        "remote",
-    )
-
-    def __init__(self) -> None:
-        self.latency = 0.0
-        self.l1_to_l2 = 0.0
-        self.l2_waiting = 0.0
-        self.l2_sharers = 0.0
-        self.l2_offchip = 0.0
-        self.hit = False
-        self.miss_type: MissType | None = None
-        self.remote = False
+#: ``ProtocolConfig.protocol`` -> engine class.
+ENGINE_CLASSES: dict[str, type[ProtocolEngineBase]] = {
+    "baseline": DirectoryEngine,
+    "adaptive": DirectoryEngine,
+    "victim": VictimReplicationEngine,
+    "dls": DLSEngine,
+    "neat": NeatEngine,
+}
 
 
-class ProtocolEngine:
-    """Coherence protocol + memory hierarchy for one simulated multicore."""
+def make_engine(
+    arch: ArchConfig, proto: ProtocolConfig, verify: bool = False
+) -> ProtocolEngineBase:
+    """Instantiate the protocol engine for ``proto.protocol``."""
+    try:
+        cls = ENGINE_CLASSES[proto.protocol]
+    except KeyError:
+        raise ConfigError(f"no engine for protocol {proto.protocol!r}") from None
+    return cls(arch, proto, verify=verify)
 
-    def __init__(
-        self,
-        arch: ArchConfig,
-        proto: ProtocolConfig,
-        verify: bool = False,
-    ) -> None:
-        self.arch = arch
-        self.proto = proto
-        self.verify = verify
 
-        self.network = MeshNetwork(arch)
-        self.memsys = MemorySubsystem(arch)
-        self.placement = RNucaPlacement(arch)
-        self.sharer_policy = make_sharer_policy(proto, arch.num_cores, arch.ackwise_pointers)
-        self.classifier = make_classifier(proto) if proto.is_adaptive else None
-
-        self.l1d = [L1Cache(arch.l1d, keep_data=verify) for _ in range(arch.num_cores)]
-        self.l2 = [L2Slice(arch.l2, keep_data=verify) for _ in range(arch.num_cores)]
-
-        self.energy = EnergyCounters()
-        self.miss_stats = MissStats()
-        self.inval_histogram = UtilizationHistogram()
-        self.evict_histogram = UtilizationHistogram()
-
-        self.golden = GoldenMemory() if verify else None
-        self._dram_image: dict[int, list[int]] = {}
-        self._write_token = 0
-
-        self._history: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
-        self._home_of_line: dict[int, int] = {}
-
-        # Cheap int aliases for the hot path.
-        self._l2_latency = arch.l2.latency
-        self._words_per_line = arch.words_per_line
-
-    # ------------------------------------------------------------------
-    def reset_stats(self) -> None:
-        """Zero all measurement counters, keeping microarchitectural state.
-
-        Used for warmup runs (standard simulator methodology): the caches,
-        directory, classifier modes and network/DRAM reservations stay warm
-        while hit/miss counts, energy events, histograms and traffic
-        counters restart for the measured run.
-        """
-        self.energy = EnergyCounters()
-        self.miss_stats = MissStats()
-        self.inval_histogram = UtilizationHistogram()
-        self.evict_histogram = UtilizationHistogram()
-        net = self.network
-        net.router_flit_traversals = 0
-        net.link_flit_traversals = 0
-        net.messages_sent = 0
-        net.flits_sent = 0
-        for ctrl in self.memsys.controllers.values():
-            ctrl.requests = 0
-            ctrl.bytes_transferred = 0
-            ctrl.total_queue_delay = 0.0
-        for l1 in self.l1d:
-            l1.hits = 0
-            l1.misses = 0
-        for slice_ in self.l2:
-            slice_.hits = 0
-            slice_.misses = 0
-            slice_.word_reads = 0
-            slice_.word_writes = 0
-            slice_.line_reads = 0
-            slice_.line_writes = 0
-        if self.classifier is not None:
-            self.classifier.promotions = 0
-            self.classifier.demotions = 0
-            self.classifier.remote_accesses = 0
-            self.classifier.vote_decisions = 0
-        self.sharer_policy.broadcast_invalidations = 0
-        self.sharer_policy.unicast_invalidations = 0
-
-    # ==================================================================
-    # Public entry point
-    # ==================================================================
-    def access(self, core: int, is_write: bool, address: int, now: float) -> AccessResult:
-        """Service one load/store issued by ``core`` at time ``now``."""
-        line = address >> addrmod.LINE_BITS
-        word = (address >> addrmod.WORD_BITS) & (self._words_per_line - 1)
-        l1 = self.l1d[core]
-        entry = l1.lookup(line)
-        if entry is not None and (not is_write or entry.state >= MESIState.EXCLUSIVE):
-            # L1 hit (E -> M upgrade is silent).
-            l1.hit(entry, now)
-            self.miss_stats.record_hit()
-            result = AccessResult()
-            result.hit = True
-            if is_write:
-                entry.state = MESIState.MODIFIED
-                self.energy.l1d_writes += 1
-                if self.verify:
-                    self._verified_l1_write(entry, line, word)
-            else:
-                self.energy.l1d_reads += 1
-                if self.verify:
-                    self.golden.check_read(line, word, entry.data[word], f"L1 hit core {core}")
-            return result
-        upgrade = entry is not None  # write to an S-state copy
-        return self._service_miss(core, is_write, line, word, now, upgrade)
-
-    # ==================================================================
-    # Miss path
-    # ==================================================================
-    def _service_miss(
-        self,
-        core: int,
-        is_write: bool,
-        line: int,
-        word: int,
-        now: float,
-        upgrade: bool,
-    ) -> AccessResult:
-        l1 = self.l1d[core]
-        l1.misses += 1
-        self.energy.l1d_tag_accesses += 1
-        result = AccessResult()
-
-        # ---- R-NUCA home (may trigger a private -> shared page transition).
-        home, flush_owner = self.placement.data_home(line, core)
-        if flush_owner is not None:
-            self._flush_private_page(line, flush_owner, now)
-
-        # ---- request to the home slice.
-        if is_write:
-            req_msg = MsgType.UPGRADE_REQ if upgrade else MsgType.WRITE_REQ
-        else:
-            req_msg = MsgType.READ_REQ
-        t = self.network.unicast(core, home, req_msg, now)
-
-        slice_ = self.l2[home]
-        l2line = slice_.lookup(line)
-
-        # ---- per-line serialization (L2 cache waiting time).
-        if l2line is not None and l2line.busy_until > t:
-            result.l2_waiting = l2line.busy_until - t
-            t = l2line.busy_until
-
-        # ---- first access to the L2 (tag + directory lookup).
-        t += self._l2_latency
-        self.energy.l2_tag_accesses += 1
-        self.energy.directory_lookups += 1
-
-        if l2line is None:
-            slice_.misses += 1
-            l2line, t, result.l2_offchip = self._l2_fill(home, line, t)
-        else:
-            slice_.hits += 1
-
-        # ---- classify the requester: private or remote sharer.
-        classifier = self.classifier
-        if classifier is None:
-            mode, centry = SharerMode.PRIVATE, None
-        else:
-            mode, centry = classifier.resolve_mode(l2line, core)
-
-        if upgrade and mode is SharerMode.REMOTE:
-            # Rare: the classifier lost this core's slot and votes remote
-            # while it still holds an S copy - fold the copy back first.
-            self._remove_own_copy(core, line, l2line)
-            upgrade = False
-
-        serviced_remote = False
-        if mode is SharerMode.REMOTE:
-            l1_min = l1.min_set_last_access(line)
-            promoted = classifier.on_remote_access(
-                l2line, centry, l1_min, l1_min is None
-            )
-            serviced_remote = not promoted
-
-        # ---- miss classification uses the pre-service history.
-        flags = self._history[core].get(line, 0)
-        result.miss_type = self._classify_miss(flags, upgrade, serviced_remote)
-        result.remote = serviced_remote
-        self.miss_stats.record_miss(result.miss_type)
-
-        dirent = l2line.directory
-
-        # ---- coherence actions at the home.
-        if is_write:
-            sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
-            t += sharers_lat
-            result.l2_sharers = sharers_lat
-            if classifier is not None:
-                classifier.on_write(l2line, core)
-        elif dirent.owner >= 0 and dirent.owner != core:
-            sharers_lat = self._sync_writeback(line, l2line, home, t)
-            t += sharers_lat
-            result.l2_sharers = sharers_lat
-
-        # ---- service: word access at L2 or private line grant.
-        if serviced_remote:
-            reply_t = self._service_remote(core, is_write, line, word, l2line, home, slice_, t)
-            flags |= _EVER_REMOTE
-        else:
-            reply_t = self._service_private(
-                core, is_write, line, word, l2line, home, slice_, t, upgrade
-            )
-            flags |= _EVER_CACHED
-        self._history[core][line] = flags
-
-        # ---- settle timing and bookkeeping at the home.
-        # Writes and line grants own the line until the directory settles;
-        # remote word *reads* pipeline through the banked L2 (they take no
-        # ownership), so they only occupy the line for one cycle - this is
-        # why "a word miss only contributes marginally to the L2 cache
-        # waiting time" (Section 5.1.2).
-        if serviced_remote and not is_write:
-            busy = t - self._l2_latency + 1.0
-            if busy > l2line.busy_until:
-                l2line.busy_until = busy
-        else:
-            l2line.busy_until = t
-        slice_.touch(l2line, t)
-        self.energy.directory_updates += 1
-
-        result.latency = reply_t - now
-        result.l1_to_l2 = (
-            result.latency - result.l2_waiting - result.l2_sharers - result.l2_offchip
-        )
-        if self.verify:
-            dirent.check_invariants()
-        return result
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _classify_miss(flags: int, upgrade: bool, serviced_remote: bool) -> MissType:
-        if upgrade:
-            return MissType.UPGRADE
-        if serviced_remote and flags & _EVER_REMOTE:
-            return MissType.WORD
-        if not flags & _EVER_CACHED:
-            return MissType.COLD
-        if flags & _LAST_REMOVAL_INVAL:
-            return MissType.SHARING
-        return MissType.CAPACITY
-
-    # ------------------------------------------------------------------
-    # Remote (word) service
-    # ------------------------------------------------------------------
-    def _service_remote(
-        self,
-        core: int,
-        is_write: bool,
-        line: int,
-        word: int,
-        l2line: L2Line,
-        home: int,
-        slice_: L2Slice,
-        t: float,
-    ) -> float:
-        if is_write:
-            slice_.word_writes += 1
-            self.energy.l2_word_writes += 1
-            l2line.dirty = True
-            if self.verify:
-                self._write_token += 1
-                l2line.data[word] = self._write_token
-                self.golden.write_word(line, word, self._write_token)
-            reply = MsgType.WORD_WRITE_ACK
-        else:
-            slice_.word_reads += 1
-            self.energy.l2_word_reads += 1
-            if self.verify:
-                self.golden.check_read(line, word, l2line.data[word], f"remote read core {core}")
-            reply = MsgType.WORD_REPLY
-        return self.network.unicast(home, core, reply, t)
-
-    # ------------------------------------------------------------------
-    # Private (line) service
-    # ------------------------------------------------------------------
-    def _service_private(
-        self,
-        core: int,
-        is_write: bool,
-        line: int,
-        word: int,
-        l2line: L2Line,
-        home: int,
-        slice_: L2Slice,
-        t: float,
-        upgrade: bool,
-    ) -> float:
-        dirent = l2line.directory
-        classifier = self.classifier
-        if classifier is not None:
-            classifier.note_private_grant(l2line, core)
-
-        if is_write:
-            self.sharer_policy.set_owner(dirent, core)
-            reply = MsgType.WORD_WRITE_ACK if upgrade else MsgType.LINE_REPLY
-        else:
-            self.sharer_policy.add_sharer(dirent, core)
-            if len(dirent.sharers) == 1:
-                self.sharer_policy.set_owner(dirent, core)  # E grant
-            reply = MsgType.LINE_REPLY
-        if not upgrade:
-            slice_.line_reads += 1
-            self.energy.l2_line_reads += 1
-
-        reply_t = self.network.unicast(home, core, reply, t)
-
-        l1 = self.l1d[core]
-        if upgrade:
-            entry = l1.lookup(line)
-            if entry is None:
-                raise SimulationError(f"upgrade for core {core} but no L1 copy of {line:#x}")
-            entry.state = MESIState.MODIFIED
-            # Same side effects as a hit (LRU, utilization, timestamp) but
-            # without touching the hit counter: this access is a miss.
-            l1.store.touch(entry)
-            entry.utilization += 1
-            entry.last_access = reply_t
-            self.energy.l1d_writes += 1
-            if self.verify:
-                self._verified_l1_write(entry, line, word)
-            return reply_t
-
-        if is_write:
-            state = MESIState.MODIFIED
-        elif dirent.owner == core:
-            state = MESIState.EXCLUSIVE
-        else:
-            state = MESIState.SHARED
-        data = list(l2line.data) if self.verify else None
-        evicted = l1.fill(line, state, reply_t, data)
-        self.energy.l1d_line_fills += 1
-        if evicted is not None:
-            self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
-        entry = l1.lookup(line)
-        if is_write:
-            self.energy.l1d_writes += 1
-            if self.verify:
-                self._verified_l1_write(entry, line, word)
-        else:
-            self.energy.l1d_reads += 1
-            if self.verify:
-                self.golden.check_read(line, word, entry.data[word], f"fill read core {core}")
-        return reply_t
-
-    # ------------------------------------------------------------------
-    # Invalidations (exclusive requests) - Section 3.2 write handling.
-    # ------------------------------------------------------------------
-    def _invalidate_sharers(
-        self,
-        line: int,
-        l2line: L2Line,
-        home: int,
-        requester: int,
-        t: float,
-    ) -> float:
-        """Invalidate every private sharer except ``requester``.
-
-        Returns the "L2 cache to sharers" latency: the round-trip until all
-        acknowledgements (with piggybacked utilization counters) arrive.
-        ACKwise broadcasts when its pointers overflowed; acknowledgements
-        come only from the true sharers.
-        """
-        dirent = l2line.directory
-        targets = [c for c in dirent.sharers if c != requester]
-        if not targets:
-            return 0.0
-        if self.sharer_policy.use_broadcast(dirent):
-            arrivals = self.network.broadcast(home, MsgType.INV_BROADCAST, t)
-            self.sharer_policy.broadcast_invalidations += 1
-        else:
-            arrivals = {
-                c: self.network.unicast(home, c, MsgType.INV_REQ, t) for c in targets
-            }
-            self.sharer_policy.unicast_invalidations += len(targets)
-        done = t
-        for c in targets:
-            ack_msg = self._purge_target_copy(c, line, l2line, merge_into_l2=True)
-            ack_t = self.network.unicast(c, home, ack_msg, arrivals[c])
-            if ack_t > done:
-                done = ack_t
-            self.sharer_policy.remove_sharer(dirent, c)
-        return done - t
-
-    # ------------------------------------------------------------------
-    def _purge_target_copy(self, core: int, line: int, l2line: L2Line, merge_into_l2: bool) -> MsgType:
-        """Kill ``core``'s private copy of ``line``; return the ack type.
-
-        Handles histogram/history/classifier bookkeeping and, for MODIFIED
-        copies, the write-back of the line data into ``l2line``
-        (``merge_into_l2`` charges the L2 write; it is False when the L2
-        line itself is dying - its locality state dies with it and the data
-        flows straight to memory).  Subclasses override this to purge
-        protocol-specific copies (e.g. local replicas in victim
-        replication).
-        """
-        removed = self.l1d[core].remove(line)
-        if removed is None:
-            raise CoherenceError(f"directory lists core {core} for line {line:#x} but L1 empty")
-        putil = removed.utilization
-        self.inval_histogram.record(putil)
-        hist = self._history[core]
-        hist[line] = hist.get(line, 0) | _LAST_REMOVAL_INVAL
-        if merge_into_l2 and self.classifier is not None:
-            self.classifier.on_removal(l2line, core, putil, RemovalReason.INVALIDATION)
-        if removed.state is not MESIState.MODIFIED:
-            return MsgType.INV_ACK
-        self.energy.l1d_line_reads += 1
-        l2line.dirty = True
-        if merge_into_l2:
-            self.energy.l2_line_writes += 1
-        if self.verify:
-            l2line.data = list(removed.data)
-        return MsgType.WB_DATA
-
-    # ------------------------------------------------------------------
-    # Synchronous write-back (read request hits an exclusive owner).
-    # ------------------------------------------------------------------
-    def _sync_writeback(self, line: int, l2line: L2Line, home: int, t: float) -> float:
-        dirent = l2line.directory
-        owner = dirent.owner
-        req_t = self.network.unicast(home, owner, MsgType.WB_REQ, t)
-        entry = self.l1d[owner].lookup(line)
-        if entry is None:
-            raise CoherenceError(f"owner {owner} of line {line:#x} has no L1 copy")
-        if entry.state is MESIState.MODIFIED:
-            msg = MsgType.WB_DATA
-            self.energy.l1d_line_reads += 1
-            self.energy.l2_line_writes += 1
-            l2line.dirty = True
-            if self.verify:
-                l2line.data = list(entry.data)
-        else:
-            msg = MsgType.INV_ACK  # clean downgrade acknowledgement
-        entry.state = MESIState.SHARED
-        self.sharer_policy.clear_owner(dirent)
-        ack_t = self.network.unicast(owner, home, msg, req_t)
-        return ack_t - t
-
-    # ------------------------------------------------------------------
-    # L1 evictions (capacity/conflict) - utilization flows back to the home.
-    # ------------------------------------------------------------------
-    def _handle_l1_eviction(self, core: int, vline: int, ventry, t: float) -> None:
-        vhome = self._home_of_line.get(vline)
-        if vhome is None:
-            raise SimulationError(f"evicting line {vline:#x} with unknown home")
-        self.evict_histogram.record(ventry.utilization)
-        hist = self._history[core]
-        hist[vline] = (hist.get(vline, 0) | _EVER_CACHED) & ~_LAST_REMOVAL_INVAL
-        dirty = ventry.state is MESIState.MODIFIED
-        msg = MsgType.EVICT_DIRTY if dirty else MsgType.EVICT_NOTIFY
-        self.network.unicast(core, vhome, msg, t)  # off the critical path
-        vslice = self.l2[vhome]
-        vl2 = vslice.lookup(vline)
-        if vl2 is None:
-            raise CoherenceError(f"inclusion violation: L1 evicts {vline:#x} absent from L2")
-        if dirty:
-            self.energy.l1d_line_reads += 1
-            self.energy.l2_line_writes += 1
-            vl2.dirty = True
-            if self.verify:
-                vl2.data = list(ventry.data)
-        if self.classifier is not None:
-            self.classifier.on_removal(vl2, core, ventry.utilization, RemovalReason.EVICTION)
-        self.sharer_policy.remove_sharer(vl2.directory, core)
-        self.energy.directory_updates += 1
-
-    # ------------------------------------------------------------------
-    # Fold back the requester's own stale S copy (classifier slot churn).
-    # ------------------------------------------------------------------
-    def _remove_own_copy(self, core: int, line: int, l2line: L2Line) -> None:
-        removed = self.l1d[core].remove(line)
-        if removed is None:
-            return
-        self.inval_histogram.record(removed.utilization)
-        hist = self._history[core]
-        hist[line] = hist.get(line, 0) | _LAST_REMOVAL_INVAL
-        if self.classifier is not None:
-            self.classifier.on_removal(
-                l2line, core, removed.utilization, RemovalReason.INVALIDATION
-            )
-        self.sharer_policy.remove_sharer(l2line.directory, core)
-
-    # ------------------------------------------------------------------
-    # L2 miss: fetch the line from off-chip memory (inclusive L2).
-    # ------------------------------------------------------------------
-    def _l2_fill(self, home: int, line: int, t: float) -> tuple[L2Line, float, float]:
-        slice_ = self.l2[home]
-        victim = slice_.victim(line)
-        if victim is not None:
-            self._evict_l2_line(home, victim[0], victim[1], t)
-            slice_.remove(victim[0])
-
-        ctrl = self.memsys.controller_for_line(line)
-        req_t = self.network.unicast(home, ctrl.tile, MsgType.MEM_READ_REQ, t)
-        finish, _queue = ctrl.access(req_t, self.arch.line_size)
-        reply_t = self.network.unicast(ctrl.tile, home, MsgType.MEM_READ_REPLY, finish)
-
-        data = None
-        if self.verify:
-            data = self._dram_image.get(line)
-            data = list(data) if data is not None else [0] * self._words_per_line
-        evicted = slice_.fill(line, reply_t, data)
-        if evicted is not None:  # cannot happen: victim handled above
-            raise SimulationError("L2 fill evicted after explicit victim handling")
-        l2line = slice_.lookup(line)
-        l2line.directory = DirectoryEntry()
-        self.energy.l2_line_writes += 1
-        self._home_of_line[line] = home
-        return l2line, reply_t, reply_t - t
-
-    # ------------------------------------------------------------------
-    def _evict_l2_line(self, home: int, vline: int, ventry: L2Line, t: float) -> None:
-        """Inclusive-L2 eviction: kill all L1 copies, write back if dirty.
-
-        The invalidation round and write-back happen off the requester's
-        critical path (documented approximation); their traffic and energy
-        are fully accounted.
-        """
-        dirent = ventry.directory
-        for c in list(dirent.sharers):
-            self.network.unicast(home, c, MsgType.INV_REQ, t)
-            ack_msg = self._purge_target_copy(c, vline, ventry, merge_into_l2=False)
-            self.network.unicast(c, home, ack_msg, t)
-            self.sharer_policy.remove_sharer(dirent, c)
-        if ventry.dirty:
-            self.energy.l2_line_reads += 1
-            ctrl = self.memsys.controller_for_line(vline)
-            self.network.unicast(home, ctrl.tile, MsgType.MEM_WRITE, t)
-            ctrl.access(t, self.arch.line_size)
-            if self.verify:
-                self.golden.check_line(vline, ventry.data, f"L2 eviction at tile {home}")
-                self._dram_image[vline] = list(ventry.data)
-        self._home_of_line.pop(vline, None)
-
-    # ------------------------------------------------------------------
-    # R-NUCA private -> shared page transition: flush the old home slice.
-    # ------------------------------------------------------------------
-    def _flush_private_page(self, line: int, old_owner: int, t: float) -> None:
-        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
-        slice_ = self.l2[old_owner]
-        for pline in addrmod.lines_in_page(page, self.arch.page_size):
-            ventry = slice_.lookup(pline)
-            if ventry is not None:
-                self._evict_l2_line(old_owner, pline, ventry, t)
-                slice_.remove(pline)
-
-    # ------------------------------------------------------------------
-    def _verified_l1_write(self, entry, line: int, word: int) -> None:
-        self._write_token += 1
-        entry.data[word] = self._write_token
-        self.golden.write_word(line, word, self._write_token)
-
-    # ------------------------------------------------------------------
-    # Introspection helpers used by tests.
-    # ------------------------------------------------------------------
-    def l1_state(self, core: int, line: int) -> MESIState:
-        entry = self.l1d[core].lookup(line)
-        return entry.state if entry is not None else MESIState.INVALID
-
-    def directory_entry(self, line: int) -> DirectoryEntry | None:
-        home = self._home_of_line.get(line)
-        if home is None:
-            return None
-        l2line = self.l2[home].lookup(line)
-        return l2line.directory if l2line is not None else None
+__all__ = [
+    "ENGINE_CLASSES",
+    "AccessResult",
+    "DLSEngine",
+    "DirectoryEngine",
+    "NeatEngine",
+    "ProtocolEngine",
+    "ProtocolEngineBase",
+    "VictimReplicationEngine",
+    "make_engine",
+]

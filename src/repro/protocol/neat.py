@@ -1,0 +1,227 @@
+"""Neat: low-complexity coherence without sharer tracking (Zhang et al.;
+PAPERS.md).
+
+Neat belongs to the self-invalidation / self-downgrade family: the home
+never tracks sharers and never sends invalidations.  Instead, writers make
+their stores visible at the home themselves (self-downgrade) and readers
+discard possibly-stale private copies themselves (self-invalidation).  This
+removes the directory - the entire sharer-tracking and invalidation machinery
+- at the cost of extra write traffic and reload misses on write-shared data.
+
+Modeling substitutions (documented in DESIGN.md, "Comparison-baseline
+protocol families"):
+
+* **Eager self-downgrade.**  Every store is written through to the home L2
+  at word granularity (``WRITE_REQ`` carries the word; the home answers with
+  a ``WORD_WRITE_ACK``).  The original defers the downgrade flush to release
+  boundaries and batches dirty words; eager write-through is the
+  conservative endpoint of that spectrum and keeps the home word-accurate at
+  every instant.  A writer that still holds a clean copy refreshes it in
+  place, so its own reads keep hitting.
+* **Version-checked self-invalidation.**  The original invalidates all
+  shared lines at acquire boundaries, relying on data-race-freedom for
+  correctness.  Our synthetic traces carry no DRF annotations, so we model
+  the *effect* precisely instead of the trigger: the engine keeps one global
+  version per line, bumped on every write; an L1 copy records the version it
+  was fetched at, and a read hit on an out-of-date copy is treated as the
+  self-invalidation (the copy is discarded and reloaded from the home, a
+  SHARING miss).  Read-shared data therefore caches perfectly and
+  write-shared data pays a reload per remote write - the same asymptotic
+  behaviour, without ever serving stale data (which would break golden
+  verification).
+* **No coherence traffic, no inclusion.**  L1 copies are always clean
+  SHARED, evictions are silent (no notification - there is nobody to
+  notify), and an L2 eviction leaves L1 copies in place: they stay correct
+  until the next write bumps the line version.
+
+The net effect mirrors Neat's published trade-off: directory storage goes to
+zero and invalidation rounds disappear, while store-heavy sharing patterns
+pay per-word write-through traffic and reload misses.
+"""
+
+from __future__ import annotations
+
+from repro.common import addr as addrmod
+from repro.common.types import MESIState, MissType
+from repro.network.messages import MsgType
+from repro.protocol.base import (
+    _EVER_CACHED,
+    _EVER_REMOTE,
+    _LAST_REMOVAL_INVAL,
+    AccessResult,
+    ProtocolEngineBase,
+)
+
+
+class NeatEngine(ProtocolEngineBase):
+    """Self-invalidation / self-downgrade engine without sharer tracking."""
+
+    def __init__(self, arch, proto, verify: bool = False) -> None:
+        super().__init__(arch, proto, verify)
+        #: Global per-line write version; an L1 copy is valid while its
+        #: recorded fetch version still matches.
+        self._line_version: dict[int, int] = {}
+        #: Per-core {line: version-at-fetch} for resident L1 copies.
+        self._copy_version: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
+        # Statistics.
+        self.self_invalidations = 0
+        self.write_throughs = 0
+
+    def reset_stats(self) -> None:
+        """Also zero the Neat counters for warmup/measure runs."""
+        super().reset_stats()
+        self.self_invalidations = 0
+        self.write_throughs = 0
+
+    def export_stats(self, stats) -> None:
+        stats.self_invalidations = self.self_invalidations
+        stats.write_throughs = self.write_throughs
+
+    # ------------------------------------------------------------------
+    def access(self, core: int, is_write: bool, address: int, now: float) -> AccessResult:
+        """Service one load/store: version-checked read caching, write-through."""
+        line = address >> addrmod.LINE_BITS
+        word = (address >> addrmod.WORD_BITS) & (self._words_per_line - 1)
+        l1 = self.l1d[core]
+        entry = l1.lookup(line)
+
+        if entry is not None and not is_write:
+            if self._copy_version[core].get(line) == self._line_version.get(line, 0):
+                # Valid read hit: the copy is as fresh as the home.
+                l1.hit(entry, now)
+                self.miss_stats.record_hit()
+                self.energy.l1d_reads += 1
+                if self.verify:
+                    self.golden.check_read(line, word, entry.data[word], f"Neat hit core {core}")
+                result = AccessResult()
+                result.hit = True
+                return result
+            # Stale copy: self-invalidate and reload from the home.
+            self._self_invalidate(core, line)
+
+        return self._service_at_home(core, is_write, line, word, now)
+
+    # ------------------------------------------------------------------
+    def _self_invalidate(self, core: int, line: int) -> None:
+        """Discard ``core``'s (stale) copy of ``line``, recording the
+        invalidation in the histogram and the miss-history flags."""
+        removed = self.l1d[core].remove(line)
+        self._copy_version[core].pop(line, None)
+        self.self_invalidations += 1
+        self.inval_histogram.record(removed.utilization)
+        hist = self._history[core]
+        hist[line] = hist.get(line, 0) | _LAST_REMOVAL_INVAL
+
+    # ------------------------------------------------------------------
+    def _service_at_home(
+        self, core: int, is_write: bool, line: int, word: int, now: float
+    ) -> AccessResult:
+        l1 = self.l1d[core]
+        l1.misses += 1
+        self.energy.l1d_tag_accesses += 1
+        result = AccessResult()
+
+        # ---- request to the home slice (writes carry the data word).
+        req_msg = MsgType.WRITE_REQ if is_write else MsgType.READ_REQ
+        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+
+        flags = self._history[core].get(line, 0)
+        if is_write:
+            # Classify against the copy the writer holds RIGHT NOW, before
+            # _write_through refreshes or discards it: a write to a held
+            # fresh copy is the upgrade case (store to a read-only line), a
+            # write to a held stale copy is a sharing event (another core's
+            # write killed the copy), and a copy-less write falls back to
+            # the remote-access classification.
+            held = self.l1d[core].lookup(line)
+            if held is not None:
+                fresh = self._copy_version[core].get(line) == self._line_version.get(line, 0)
+                result.miss_type = MissType.UPGRADE if fresh else MissType.SHARING
+            else:
+                result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=True)
+            reply_t = self._write_through(core, line, word, l2line, home, slice_, t)
+            result.remote = True
+            # History is re-read rather than taken from the pre-service
+            # flags: _write_through may have self-invalidated a stale copy,
+            # setting _LAST_REMOVAL_INVAL.
+            self._history[core][line] = self._history[core].get(line, 0) | _EVER_REMOTE
+            l2line.busy_until = t
+        else:
+            reply_t = self._read_line(core, line, word, l2line, home, slice_, t)
+            result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=False)
+            self._history[core][line] = flags | _EVER_CACHED
+            # Reads take no home-side ownership: pipeline through the bank.
+            busy = t - self._l2_latency + 1.0
+            if busy > l2line.busy_until:
+                l2line.busy_until = busy
+        self.miss_stats.record_miss(result.miss_type)
+        slice_.touch(l2line, t)
+
+        result.latency = reply_t - now
+        result.l1_to_l2 = result.latency - result.l2_waiting - result.l2_offchip
+        return result
+
+    # ------------------------------------------------------------------
+    def _write_through(
+        self, core: int, line: int, word: int, l2line, home: int, slice_, t: float
+    ) -> float:
+        """Eager self-downgrade: the word is written at the home (no allocate).
+
+        A resident *fresh* copy is refreshed in place so the writer's own
+        reads keep hitting; a stale resident copy is discarded (refreshing
+        one word of it would revalidate its other, stale words).  Every
+        other core's copy goes stale and self-invalidates on its next use.
+        """
+        old_version = self._line_version.get(line, 0)
+        reply_t = self._service_word_at_home(core, True, line, word, l2line, home, slice_, t)
+        self.write_throughs += 1
+        self._line_version[line] = old_version + 1
+        l1 = self.l1d[core]
+        entry = l1.lookup(line)
+        if entry is not None:
+            if self._copy_version[core].get(line) == old_version:
+                l1.store.touch(entry)
+                entry.utilization += 1
+                entry.last_access = reply_t
+                self.energy.l1d_writes += 1
+                if self.verify:
+                    entry.data[word] = self._write_token
+                self._copy_version[core][line] = old_version + 1
+            else:
+                self._self_invalidate(core, line)
+        return reply_t
+
+    # ------------------------------------------------------------------
+    def _read_line(
+        self, core: int, line: int, word: int, l2line, home: int, slice_, t: float
+    ) -> float:
+        """Read miss: fetch the full line, install it clean SHARED."""
+        slice_.line_reads += 1
+        self.energy.l2_line_reads += 1
+        reply_t = self.network.unicast(home, core, MsgType.LINE_REPLY, t)
+
+        l1 = self.l1d[core]
+        data = list(l2line.data) if self.verify else None
+        evicted = l1.fill(line, MESIState.SHARED, reply_t, data)
+        self.energy.l1d_line_fills += 1
+        if evicted is not None:
+            self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
+        self._copy_version[core][line] = self._line_version.get(line, 0)
+        self.energy.l1d_reads += 1
+        if self.verify:
+            entry = l1.lookup(line)
+            self.golden.check_read(line, word, entry.data[word], f"Neat fill read core {core}")
+        return reply_t
+
+    # ------------------------------------------------------------------
+    def _handle_l1_eviction(self, core: int, vline: int, ventry, t: float) -> None:
+        """Silent eviction: copies are clean and nobody tracks them."""
+        self.evict_histogram.record(ventry.utilization)
+        hist = self._history[core]
+        hist[vline] = (hist.get(vline, 0) | _EVER_CACHED) & ~_LAST_REMOVAL_INVAL
+        self._copy_version[core].pop(vline, None)
+
+    # ------------------------------------------------------------------
+    # L2 evictions leave L1 copies alone: they are clean, and the version
+    # check retires them the moment the line is written again.
+    # (_purge_copies_for_l2_eviction inherits the base no-op.)

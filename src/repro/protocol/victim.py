@@ -33,15 +33,11 @@ from repro.common.errors import CoherenceError
 from repro.common.types import MESIState
 from repro.mem.l2 import L2Line, L2Slice
 from repro.network.messages import MsgType
-from repro.protocol.engine import (
-    _EVER_CACHED,
-    _LAST_REMOVAL_INVAL,
-    AccessResult,
-    ProtocolEngine,
-)
+from repro.protocol.base import _EVER_CACHED, _LAST_REMOVAL_INVAL, AccessResult
+from repro.protocol.directory import DirectoryEngine
 
 
-class VictimReplicationEngine(ProtocolEngine):
+class VictimReplicationEngine(DirectoryEngine):
     """Protocol engine with victim replication in the local L2 slices."""
 
     def __init__(self, arch, proto, verify: bool = False) -> None:
@@ -61,6 +57,12 @@ class VictimReplicationEngine(ProtocolEngine):
         self.replica_invalidations = 0
         self.replica_evictions = 0
         self.replication_failures = 0
+
+    def export_stats(self, stats) -> None:
+        stats.replicas_created = self.replicas_created
+        stats.replica_hits = self.replica_hits
+        stats.replica_invalidations = self.replica_invalidations
+        stats.replica_evictions = self.replica_evictions
 
     # ------------------------------------------------------------------
     # Fast path: L1 miss that hits a local replica.

@@ -17,7 +17,14 @@ The runner turns experiment execution into a first-class service:
 from repro.runner.job import JOB_SCHEMA, Job, canonical_json
 from repro.runner.parallel import ParallelRunner, build_trace, execute_job
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
-from repro.runner.sweep import FIGURE11_PCTS, SweepGrid, sweep_rows, sweep_table
+from repro.runner.sweep import (
+    FIGURE11_PCTS,
+    SweepGrid,
+    seed_spread_rows,
+    seed_spread_table,
+    sweep_rows,
+    sweep_table,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -30,6 +37,8 @@ __all__ = [
     "build_trace",
     "canonical_json",
     "execute_job",
+    "seed_spread_rows",
+    "seed_spread_table",
     "sweep_rows",
     "sweep_table",
 ]

@@ -29,6 +29,8 @@ from repro.runner.sweep import (
     FIGURE11_PCTS,
     PROTOCOL_FAMILIES,
     grid_from_args,
+    seed_spread_rows,
+    seed_spread_table,
     sweep_rows,
     sweep_table,
 )
@@ -58,7 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cores", type=int, default=64)
     sweep.add_argument("--seed", type=int, default=0,
                        help="trace-variant seed (default 0 = canonical traces)")
+    sweep.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="run N trace realizations per grid point "
+                       "(Job.seed = seed..seed+N-1) and report the "
+                       "completion-time/energy spread per point")
     sweep.add_argument("--no-warmup", action="store_true")
+    sweep.add_argument("--verify", action="store_true",
+                       help="run with golden-memory functional verification: "
+                       "a coherence violation aborts the sweep, and only "
+                       "cache entries that were themselves produced under "
+                       "verification are reused")
     sweep.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
                        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})")
     sweep.add_argument("--no-cache", action="store_true",
@@ -69,8 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = sub.add_parser("cache", help="inspect, compact or clear the result cache")
+    cache.add_argument("action", choices=("info", "compact", "clear"))
     cache.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR")
 
     # Delegating verbs: argument parsing happens in the delegate (main()
@@ -97,6 +108,8 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         warmup=not args.no_warmup,
         seed=args.seed,
+        num_seeds=args.seeds,
+        verify=args.verify,
     )
     store = None if args.no_cache else ResultStore(args.cache)
 
@@ -112,16 +125,21 @@ def _cmd_sweep(args) -> int:
     elapsed = time.time() - start
 
     rows = sweep_rows(jobs, results)
+    spread = seed_spread_rows(rows) if args.seeds > 1 else None
     if args.json is not None:
-        payload = json.dumps(rows, indent=2, sort_keys=True)
+        payload = rows if spread is None else {"rows": rows, "spread": spread}
+        text = json.dumps(payload, indent=2, sort_keys=True)
         if args.json == "-":
-            print(payload)
+            print(text)
         else:
             with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(payload + "\n")
+                fh.write(text + "\n")
             print(f"wrote {args.json}: {len(rows)} rows", file=sys.stderr)
     else:
         print(sweep_table(rows))
+        if spread is not None:
+            print()
+            print(seed_spread_table(spread))
     cache_note = ""
     if store is not None:
         cache_note = f", cache: {store.hits} hits / {store.misses} misses"
@@ -138,6 +156,10 @@ def _cmd_cache(args) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} cached results from {store.path}")
+        return 0
+    if args.action == "compact":
+        kept, dropped = store.compact()
+        print(f"compacted {store.path}: kept {kept} entries, dropped {dropped} superseded lines")
         return 0
     print(store.describe())
     by_workload: dict[str, int] = {}

@@ -26,7 +26,9 @@ from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
 
 #: Bump when the meaning of a job's fields (or the stats schema) changes in a
 #: way that invalidates previously cached results.
-JOB_SCHEMA = 1
+#: 2: RunStats gained the Neat counters (self_invalidations, write_throughs)
+#:    and ProtocolConfig the dls/neat families with directory="none".
+JOB_SCHEMA = 2
 
 
 def canonical_json(payload: dict) -> str:
@@ -48,6 +50,13 @@ class Job:
     #: trace).  Workers apply it via ``rng.seed_scope`` around trace building,
     #: so the realized trace depends only on the job, never on worker state.
     seed: int = 0
+    #: Run under golden-memory functional verification.  Verification can
+    #: only abort a run (``CoherenceError``), never change its statistics,
+    #: so this field is deliberately EXCLUDED from the content hash.  The
+    #: ``ResultStore`` still records whether an entry was verified: a
+    #: verified entry satisfies both twins, an unverified entry only the
+    #: unverified one (a verified sweep must actually run its checks).
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if not self.workload:
@@ -64,6 +73,7 @@ class Job:
             "scale": self.scale,
             "warmup": self.warmup,
             "seed": self.seed,
+            "verify": self.verify,
             "arch": self.arch.to_dict(),
             "proto": self.proto.to_dict(),
             "energy": self.energy.to_dict(),
@@ -82,13 +92,20 @@ class Job:
             scale=data["scale"],
             warmup=data["warmup"],
             seed=data["seed"],
+            verify=data.get("verify", False),
         )
 
     # ------------------------------------------------------------------
     @cached_property
     def key(self) -> str:
-        """Content hash: sha256 over the canonical serialized job."""
-        digest = hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8"))
+        """Content hash: sha256 over the canonical serialized job.
+
+        ``verify`` is excluded: it cannot change the statistics, so a
+        verified and an unverified run of the same point share one entry.
+        """
+        payload = self.to_dict()
+        del payload["verify"]
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
         return digest.hexdigest()
 
     @cached_property
@@ -116,4 +133,6 @@ class Job:
             parts.append(f"seed={self.seed}")
         if not self.warmup:
             parts.append("cold")
+        if self.verify:
+            parts.append("verify")
         return " ".join(parts)

@@ -18,7 +18,9 @@ a cache directory (default ``.repro-cache/``).  Properties:
   load rather than misinterpreted.
 
 Only the coordinating process writes (workers hand results back to the
-parent), so no file locking is needed.
+parent), so no file locking is needed.  ``compact`` rewrites the whole log
+and therefore assumes the same single-writer discipline: run it while no
+sweep is appending.
 """
 
 from __future__ import annotations
@@ -74,9 +76,16 @@ class ResultStore:
         return job.key in self._entries
 
     def get(self, job: Job) -> RunStats | None:
-        """Cached stats for ``job``, counting the lookup as a hit or miss."""
+        """Cached stats for ``job``, counting the lookup as a hit or miss.
+
+        A job with ``verify=True`` only accepts entries that were produced
+        under verification: results are identical either way, but a verified
+        sweep must actually *run* the golden-memory checks, not inherit a
+        green light from an unchecked twin.  (Unverified jobs accept both -
+        verified entries carry strictly more assurance.)
+        """
         record = self._entries.get(job.key)
-        if record is None:
+        if record is None or (job.verify and not record.get("verified")):
             self.misses += 1
             return None
         self.hits += 1
@@ -88,6 +97,7 @@ class ResultStore:
         record = {
             "schema": JOB_SCHEMA,
             "key": job.key,
+            "verified": job.verify,
             "job": job.to_dict(),
             "stats": payload,
         }
@@ -101,6 +111,36 @@ class ResultStore:
     def jobs(self) -> list[dict]:
         """Serialized job descriptions of every cached result (for tooling)."""
         return [record["job"] for record in self._entries.values()]
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the JSONL log to one line per live key.
+
+        The append-only log accumulates superseded lines over time: repeated
+        ``put`` calls for the same key, entries from older schema versions,
+        and torn lines from interrupted runs.  Loading already ignores all of
+        those, so compaction drops them physically: the log is re-read first
+        (picking up results other processes appended since this store
+        loaded), then rewritten from the last-entry-per-key map (current
+        schema only) via an atomic rename, so a crash mid-compaction can
+        never lose the log.  Like every other write, compaction assumes the
+        single-writer discipline: another process appending or clearing the
+        log *during* the rewrite can have its change overwritten.
+
+        Returns ``(kept, dropped)``: live entries written and physical lines
+        removed (0 when compaction only materialized in-memory entries).
+        """
+        self._load()
+        before = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                before = sum(1 for line in fh if line.strip())
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as fh:
+            for record in self._entries.values():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        tmp.replace(self.path)
+        return len(self._entries), max(0, before - len(self._entries))
 
     def clear(self) -> int:
         """Drop all entries (and the backing file); returns entries removed."""

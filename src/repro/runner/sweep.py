@@ -20,8 +20,11 @@ from repro.common.params import (
     EnergyConfig,
     ProtocolConfig,
     baseline_protocol,
+    dls_protocol,
+    neat_protocol,
     victim_replication_protocol,
 )
+from repro.common.statsutil import geomean
 from repro.runner.job import Job
 from repro.sim.stats import RunStats
 from repro.workloads.registry import WORKLOAD_NAMES
@@ -31,8 +34,10 @@ FIGURE11_PCTS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20
 
 #: Protocol families selectable in a sweep.  "pct" follows the paper's sweep
 #: convention (PCT=1 *is* the baseline directory protocol); "adaptive" forces
-#: the adaptive protocol even at PCT=1.
-PROTOCOL_FAMILIES = ("pct", "adaptive", "baseline", "victim")
+#: the adaptive protocol even at PCT=1.  "dls" and "neat" are the
+#: related-work comparison baselines (PAPERS.md): each is a single grid
+#: point - neither has a PCT axis.
+PROTOCOL_FAMILIES = ("pct", "adaptive", "baseline", "victim", "dls", "neat")
 
 
 def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig]:
@@ -40,6 +45,10 @@ def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig
         return [baseline_protocol()]
     if family == "victim":
         return [victim_replication_protocol()]
+    if family == "dls":
+        return [dls_protocol()]
+    if family == "neat":
+        return [neat_protocol()]
     protos = []
     for pct in pcts:
         if family == "pct" and pct <= 1:
@@ -53,7 +62,7 @@ def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """A cartesian sweep: workloads x protocol families x PCT values."""
+    """A cartesian sweep: workloads x protocol families x PCT x trace seeds."""
 
     workloads: tuple[str, ...] = WORKLOAD_NAMES
     families: tuple[str, ...] = ("pct",)
@@ -63,6 +72,13 @@ class SweepGrid:
     scale: str = "small"
     warmup: bool = True
     seed: int = 0
+    #: Trace-variant axis: each grid point runs ``num_seeds`` trace
+    #: realizations (``Job.seed`` = seed .. seed+num_seeds-1), so figure
+    #: points can report a confidence spread instead of one sample.
+    num_seeds: int = 1
+    #: Run every job under golden-memory functional verification (any
+    #: coherence violation aborts the sweep with a ``CoherenceError``).
+    verify: bool = False
 
     def __post_init__(self) -> None:
         unknown = set(self.workloads) - set(WORKLOAD_NAMES)
@@ -77,6 +93,8 @@ class SweepGrid:
             raise ConfigError("sweep needs at least one PCT value")
         if any(pct < 1 for pct in self.pcts):
             raise ConfigError(f"pct values must be >= 1, got {self.pcts}")
+        if self.num_seeds < 1:
+            raise ConfigError(f"num_seeds must be >= 1, got {self.num_seeds}")
 
     # ------------------------------------------------------------------
     def protocols(self) -> list[ProtocolConfig]:
@@ -88,6 +106,10 @@ class SweepGrid:
                     protos.append(proto)
         return protos
 
+    def seeds(self) -> tuple[int, ...]:
+        """The trace-variant axis: ``num_seeds`` consecutive seeds."""
+        return tuple(range(self.seed, self.seed + self.num_seeds))
+
     def jobs(self) -> list[Job]:
         """Expand the grid into a job list (workload-major order)."""
         return [
@@ -98,18 +120,23 @@ class SweepGrid:
                 energy=self.energy,
                 scale=self.scale,
                 warmup=self.warmup,
-                seed=self.seed,
+                seed=seed,
+                verify=self.verify,
             )
             for name in self.workloads
             for proto in self.protocols()
+            for seed in self.seeds()
         ]
 
     def describe(self) -> str:
         n_protos = len(self.protocols())
+        n_jobs = len(self.workloads) * n_protos * self.num_seeds
+        seeds_note = f" x {self.num_seeds} seeds" if self.num_seeds > 1 else ""
+        verify_note = ", golden-verify" if self.verify else ""
         return (
-            f"{len(self.workloads)} workloads x {n_protos} protocol points "
-            f"= {len(self.workloads) * n_protos} jobs "
-            f"({self.arch.num_cores} cores, scale={self.scale})"
+            f"{len(self.workloads)} workloads x {n_protos} protocol points"
+            f"{seeds_note} = {n_jobs} jobs "
+            f"({self.arch.num_cores} cores, scale={self.scale}{verify_note})"
         )
 
 
@@ -123,6 +150,7 @@ def sweep_rows(jobs: list[Job], results: list[RunStats]) -> list[dict]:
                 "workload": job.workload,
                 "protocol": job.proto.protocol,
                 "pct": job.proto.pct,
+                "seed": job.seed,
                 "completion_time": stats.completion_time,
                 "energy": stats.energy.total,
                 "l1d_miss_rate": stats.miss.miss_rate,
@@ -135,17 +163,71 @@ def sweep_rows(jobs: list[Job], results: list[RunStats]) -> list[dict]:
 
 
 def sweep_table(rows: list[dict]) -> str:
-    """Fixed-width text table of sweep rows (one line per job)."""
+    """Fixed-width text table of sweep rows (one line per job).
+
+    The seed column appears only when the rows span several trace seeds -
+    single-seed sweeps (the common case) keep the compact layout.
+    """
+    with_seeds = len({row["seed"] for row in rows}) > 1
+    seed_hdr = f"{'seed':>6}" if with_seeds else ""
     lines = [
-        f"{'workload':<15}{'protocol':<10}{'pct':>4}{'completion':>14}"
+        f"{'workload':<15}{'protocol':<10}{'pct':>4}{seed_hdr}{'completion':>14}"
         f"{'energy(nJ)':>12}{'miss%':>7}{'flits':>12}"
     ]
     lines.append("-" * len(lines[0]))
     for row in rows:
+        seed_col = f"{row['seed']:>6}" if with_seeds else ""
         lines.append(
-            f"{row['workload']:<15}{row['protocol']:<10}{row['pct']:>4}"
+            f"{row['workload']:<15}{row['protocol']:<10}{row['pct']:>4}{seed_col}"
             f"{row['completion_time']:>14,.0f}{row['energy'] / 1e3:>12,.1f}"
             f"{100 * row['l1d_miss_rate']:>7.2f}{row['network_flits']:>12,}"
+        )
+    return "\n".join(lines)
+
+
+def seed_spread_rows(rows: list[dict]) -> list[dict]:
+    """Aggregate per-seed sweep rows into one confidence row per grid point.
+
+    Groups rows by (workload, protocol, pct) across the trace-seed axis and
+    reports the geometric-mean completion time and energy plus their
+    **spread** - max/min ratio over the seed realizations (1.0 = perfectly
+    stable).  This is the ROADMAP "trace-variant confidence intervals" view:
+    a figure point is only trustworthy when its spread stays near 1.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["workload"], row["protocol"], row["pct"]), []).append(row)
+    out = []
+    for (workload, protocol, pct), members in groups.items():
+        times = [r["completion_time"] for r in members]
+        energies = [r["energy"] for r in members]
+        out.append(
+            {
+                "workload": workload,
+                "protocol": protocol,
+                "pct": pct,
+                "seeds": sorted(r["seed"] for r in members),
+                "completion_time_geomean": geomean(times),
+                "completion_time_spread": max(times) / min(times),
+                "energy_geomean": geomean(energies),
+                "energy_spread": max(energies) / min(energies),
+            }
+        )
+    return out
+
+
+def seed_spread_table(spread: list[dict]) -> str:
+    """Fixed-width text table of :func:`seed_spread_rows` output."""
+    lines = [
+        f"{'workload':<15}{'protocol':<10}{'pct':>4}{'seeds':>7}"
+        f"{'T geomean':>14}{'T spread':>10}{'E spread':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in spread:
+        lines.append(
+            f"{row['workload']:<15}{row['protocol']:<10}{row['pct']:>4}"
+            f"{len(row['seeds']):>7}{row['completion_time_geomean']:>14,.0f}"
+            f"{row['completion_time_spread']:>10.3f}{row['energy_spread']:>10.3f}"
         )
     return "\n".join(lines)
 
@@ -158,6 +240,8 @@ def grid_from_args(
     scale: str,
     warmup: bool,
     seed: int,
+    num_seeds: int = 1,
+    verify: bool = False,
 ) -> SweepGrid:
     """Build a grid from CLI-style arguments, using the benchmark arch.
 
@@ -174,6 +258,8 @@ def grid_from_args(
         scale=scale,
         warmup=warmup,
         seed=seed,
+        num_seeds=num_seeds,
+        verify=verify,
     )
 
 
@@ -182,6 +268,8 @@ __all__ = [
     "PROTOCOL_FAMILIES",
     "SweepGrid",
     "grid_from_args",
+    "seed_spread_rows",
+    "seed_spread_table",
     "sweep_rows",
     "sweep_table",
 ]

@@ -34,8 +34,8 @@ from repro.common.errors import SimulationError
 from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
 from repro.common.types import Op
 from repro.energy.model import EnergyModel
-from repro.protocol.engine import ProtocolEngine
-from repro.protocol.victim import VictimReplicationEngine
+from repro.protocol.base import ProtocolEngineBase
+from repro.protocol.engine import make_engine
 from repro.sim.stats import LatencyBreakdown, RunStats
 from repro.workloads.base import Trace
 
@@ -74,10 +74,7 @@ class Simulator:
                 f"trace {trace.name!r} built for {trace.num_cores} cores, "
                 f"architecture has {arch.num_cores}"
             )
-        if self.proto.protocol == "victim":
-            engine = VictimReplicationEngine(arch, self.proto, verify=self.verify)
-        else:
-            engine = ProtocolEngine(arch, self.proto, verify=self.verify)
+        engine = make_engine(arch, self.proto, verify=self.verify)
         clocks = [0.0] * arch.num_cores
         if self.warmup:
             warm_bd = [LatencyBreakdown() for _ in range(arch.num_cores)]
@@ -87,12 +84,16 @@ class Simulator:
         breakdowns = [LatencyBreakdown() for _ in range(arch.num_cores)]
         clocks = self._execute(engine, trace, clocks, breakdowns)
         completion = (max(clocks) if clocks else 0.0) - measure_start
+        if self.verify:
+            # Beyond the per-access golden checks: no write may be lost even
+            # if the trace never re-reads it.
+            engine.check_final_state()
         return self._collect(trace, engine, completion, breakdowns)
 
     # ------------------------------------------------------------------
     def _execute(
         self,
-        engine: ProtocolEngine,
+        engine: ProtocolEngineBase,
         trace: Trace,
         start_clocks: list[float],
         breakdowns: list[LatencyBreakdown],
@@ -204,7 +205,7 @@ class Simulator:
     def _collect(
         self,
         trace: Trace,
-        engine: ProtocolEngine,
+        engine: ProtocolEngineBase,
         completion: float,
         breakdowns: list[LatencyBreakdown],
     ) -> RunStats:
@@ -242,9 +243,5 @@ class Simulator:
             stats.remote_accesses = classifier.remote_accesses
         stats.l2_hits = sum(s.hits for s in engine.l2)
         stats.l2_misses = sum(s.misses for s in engine.l2)
-        if isinstance(engine, VictimReplicationEngine):
-            stats.replicas_created = engine.replicas_created
-            stats.replica_hits = engine.replica_hits
-            stats.replica_invalidations = engine.replica_invalidations
-            stats.replica_evictions = engine.replica_evictions
+        engine.export_stats(stats)
         return stats

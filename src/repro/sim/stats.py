@@ -200,6 +200,9 @@ class RunStats:
     replica_hits: int = 0
     replica_invalidations: int = 0
     replica_evictions: int = 0
+    # Self-invalidation counters (protocol="neat" runs only).
+    self_invalidations: int = 0
+    write_throughs: int = 0
 
     #: Fields serialized via their own to_dict/from_dict rather than as scalars.
     _COMPOSITE_FIELDS = ("latency", "miss", "energy", "inval_histogram", "evict_histogram")

@@ -158,3 +158,38 @@ class TestEnergyConfig:
     def test_rejects_negative(self):
         with pytest.raises(ConfigError):
             EnergyConfig(l1d_read=-1.0)
+
+
+class TestDirectorylessValidation:
+    def test_bogus_directory_rejected_even_for_directoryless_protocols(self):
+        with pytest.raises(ConfigError, match="unknown directory"):
+            ProtocolConfig(protocol="neat", directory="ackwize")
+
+    def test_valid_directory_normalized_to_none(self):
+        assert ProtocolConfig(protocol="dls", directory="fullmap").directory == "none"
+
+    def test_none_directory_requires_directoryless_protocol(self):
+        with pytest.raises(ConfigError, match="requires a sharer-tracking directory"):
+            ProtocolConfig(protocol="baseline", directory="none")
+
+    def test_directoryless_configs_are_canonical(self):
+        from repro.common.params import dls_protocol, neat_protocol
+
+        assert ProtocolConfig(protocol="dls") == dls_protocol()
+        assert ProtocolConfig(protocol="neat", pct=8, classifier="complete") == neat_protocol()
+
+    def test_directoryless_normalization_still_validates_inputs(self):
+        with pytest.raises(ConfigError, match="unknown classifier"):
+            ProtocolConfig(protocol="dls", classifier="bogus")
+        with pytest.raises(ConfigError, match="pct must be"):
+            ProtocolConfig(protocol="neat", pct=0)
+
+    def test_replaced_escapes_directoryless_family(self):
+        from repro.common.params import dls_protocol
+
+        proto = dls_protocol().replaced(protocol="adaptive", pct=4)
+        assert proto.protocol == "adaptive"
+        assert proto.directory == "ackwise"
+        # An explicit choice still wins.
+        full = dls_protocol().replaced(protocol="baseline", directory="fullmap")
+        assert full.directory == "fullmap"

@@ -98,7 +98,7 @@ class TestFigureGenerators:
     def test_registry_covers_all_figures(self):
         assert set(FIGURES) == {
             "1", "2", "8", "9", "10", "11", "12", "13", "14",
-            "ackwise-vs-fullmap", "victim-replication",
+            "ackwise-vs-fullmap", "victim-replication", "protocol-families",
         }
 
     def test_figure1_structure(self, tiny_runner):
@@ -123,3 +123,22 @@ class TestFigureGenerators:
         # The paper reports parity within 1%; allow a little slack at tiny scale.
         assert t == pytest.approx(1.0, abs=0.05)
         assert e == pytest.approx(1.0, abs=0.05)
+
+
+class TestProtocolFamiliesFigure:
+    def test_five_way_comparison_structure(self, tiny_runner):
+        from repro.experiments.figures import protocol_families_comparison
+
+        result = protocol_families_comparison(tiny_runner)
+        labels = {"baseline", "victim", "dls", "neat", "adaptive"}
+        for workload in tiny_runner.workloads:
+            row = result.data[workload]
+            assert set(row) == labels
+            # Normalization anchor: the baseline column is exactly 1.
+            assert row["baseline"] == (1.0, 1.0)
+            for tr, er in row.values():
+                assert tr > 0 and er > 0
+        geo = result.data["geomean"]
+        assert set(geo) == labels
+        assert geo["baseline"] == (1.0, 1.0)
+        assert "T(dls)" in result.text and "E(neat)" in result.text

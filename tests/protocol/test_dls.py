@@ -1,0 +1,90 @@
+"""DLS engine tests: directoryless word-granularity service at the home."""
+
+from __future__ import annotations
+
+from repro.common.params import dls_protocol
+from repro.common.types import MESIState, MissType
+from repro.coherence.directory import NullSharerPolicy
+from repro.protocol.dls import DLSEngine
+from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+
+
+def make_dls_engine(verify: bool = True) -> DLSEngine:
+    return DLSEngine(small_arch(), dls_protocol(), verify=verify)
+
+
+class TestWordService:
+    def test_every_access_is_a_miss(self):
+        engine = make_dls_engine()
+        for i in range(5):
+            result = engine.access(0, False, BASE, 100.0 * i)
+            assert not result.hit
+            assert result.remote
+        assert engine.miss_stats.hits == 0
+        assert engine.miss_stats.misses == 5
+        assert engine.miss_stats.miss_rate == 1.0
+
+    def test_first_touch_cold_then_word(self):
+        engine = make_dls_engine()
+        assert engine.access(0, False, BASE, 0.0).miss_type is MissType.COLD
+        assert engine.access(0, True, BASE, 100.0).miss_type is MissType.WORD
+        assert engine.access(0, False, BASE, 200.0).miss_type is MissType.WORD
+
+    def test_l1_never_fills(self):
+        engine = make_dls_engine()
+        engine.access(0, False, BASE, 0.0)
+        engine.access(0, True, BASE, 100.0)
+        assert engine.l1_state(0, BASE // LINE) is MESIState.INVALID
+        assert all(l1.store.occupancy() == 0 for l1 in engine.l1d)
+
+    def test_word_counters_at_home(self):
+        engine = make_dls_engine()
+        engine.access(0, False, BASE, 0.0)
+        engine.access(1, True, BASE, 100.0)
+        assert sum(s.word_reads for s in engine.l2) == 1
+        assert sum(s.word_writes for s in engine.l2) == 1
+        assert sum(s.line_reads for s in engine.l2) == 0
+
+
+class TestDirectoryless:
+    def test_no_directory_state(self):
+        engine = make_dls_engine()
+        engine.access(0, False, BASE, 0.0)
+        engine.access(1, True, BASE, 100.0)
+        assert engine.directory_entry(BASE // LINE) is None
+        assert isinstance(engine.sharer_policy, NullSharerPolicy)
+        assert engine.sharer_policy.storage_bits_per_entry() == 0
+
+    def test_no_invalidation_traffic(self):
+        """A write-read-write ping-pong costs exactly request + reply each."""
+        engine = make_dls_engine()
+        share_page(engine)  # pin R-NUCA's page classification first
+        home = engine.placement.shared_home(BASE // LINE)
+        a, b = [c for c in range(12) if c != home][:2]  # off-home actors
+        engine.access(a, True, BASE, 100.0)  # cold fill happens here
+        before = engine.network.messages_sent
+        engine.access(b, False, BASE, 500.0)
+        engine.access(a, True, BASE, 1000.0)
+        assert engine.network.messages_sent - before == 4
+        assert engine.inval_histogram.total == 0
+
+    def test_config_normalizes_directory_to_none(self):
+        assert dls_protocol().directory == "none"
+
+
+class TestVerifiedData:
+    def test_write_read_roundtrip_under_golden(self):
+        engine = make_dls_engine(verify=True)
+        engine.access(0, True, BASE, 0.0)
+        engine.access(1, False, BASE, 100.0)  # golden check inside
+        engine.access(2, True, BASE + 8, 200.0)
+        engine.access(3, False, BASE + 8, 300.0)
+        engine.check_final_state()
+
+    def test_serialization_on_same_line(self):
+        """Back-to-back writes to one line pay L2 waiting time."""
+        engine = make_dls_engine()
+        share_page(engine)  # pin the home so no mid-test page transition
+        engine.access(0, True, BASE, 100.0)
+        result = engine.access(1, True, BASE, 100.0)
+        assert result.l2_waiting > 0

@@ -1,0 +1,144 @@
+"""Neat engine tests: write-through self-downgrade, version-checked
+self-invalidation, and the absence of coherence traffic."""
+
+from __future__ import annotations
+
+from repro.common.params import neat_protocol
+from repro.common.types import MESIState, MissType
+from repro.coherence.directory import NullSharerPolicy
+from repro.protocol.neat import NeatEngine
+from tests.protocol.test_engine import BASE, LINE, small_arch
+
+
+def make_neat_engine(verify: bool = True) -> NeatEngine:
+    return NeatEngine(small_arch(), neat_protocol(), verify=verify)
+
+
+class TestReadCaching:
+    def test_read_miss_fills_shared_and_then_hits(self):
+        engine = make_neat_engine()
+        assert engine.access(0, False, BASE, 0.0).miss_type is MissType.COLD
+        assert engine.l1_state(0, BASE // LINE) is MESIState.SHARED
+        result = engine.access(0, False, BASE, 100.0)
+        assert result.hit
+        assert engine.miss_stats.hits == 1
+
+    def test_read_shared_data_caches_on_every_core(self):
+        engine = make_neat_engine()
+        for core in range(4):
+            engine.access(core, False, BASE, 100.0 * core)
+        before = engine.miss_stats.misses
+        for core in range(4):
+            assert engine.access(core, False, BASE, 1000.0 + core).hit
+        assert engine.miss_stats.misses == before
+
+
+class TestSelfInvalidation:
+    def test_remote_write_stales_other_copies(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)  # core 0 caches the line
+        engine.access(1, True, BASE, 500.0)  # core 1 writes through
+        result = engine.access(0, False, BASE, 1000.0)
+        assert not result.hit
+        assert result.miss_type is MissType.SHARING
+        assert engine.self_invalidations == 1
+
+    def test_reload_after_self_invalidation_is_fresh(self):
+        engine = make_neat_engine(verify=True)
+        engine.access(0, False, BASE, 0.0)
+        engine.access(1, True, BASE, 500.0)
+        engine.access(0, False, BASE, 1000.0)  # golden check inside
+        assert engine.access(0, False, BASE, 1500.0).hit  # fresh again
+        engine.check_final_state()
+
+    def test_writer_keeps_fresh_copy_valid(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)  # fresh copy
+        engine.access(0, True, BASE, 500.0)  # own write-through refreshes it
+        assert engine.access(0, False, BASE, 1000.0).hit
+        assert engine.self_invalidations == 0
+
+    def test_writer_with_stale_copy_drops_it(self):
+        engine = make_neat_engine(verify=True)
+        engine.access(0, False, BASE, 0.0)  # core 0 caches
+        engine.access(1, True, BASE + 8, 500.0)  # core 1 stales it (word 1)
+        engine.access(0, True, BASE, 1000.0)  # core 0 writes word 0: stale copy dies
+        assert engine.l1_state(0, BASE // LINE) is MESIState.INVALID
+        assert engine.self_invalidations == 1
+        # The reload must see BOTH writes (a one-word refresh would have
+        # revalidated the stale sibling words).
+        engine.access(0, False, BASE + 8, 1500.0)  # golden check inside
+        engine.check_final_state()
+
+
+class TestWriteThrough:
+    def test_every_store_reaches_the_home(self):
+        engine = make_neat_engine()
+        for i in range(3):
+            result = engine.access(0, True, BASE, 100.0 * i)
+            assert not result.hit
+            assert result.remote
+        assert engine.write_throughs == 3
+        assert sum(s.word_writes for s in engine.l2) == 3
+
+    def test_store_misses_classified_cold_then_word(self):
+        engine = make_neat_engine()
+        assert engine.access(0, True, BASE, 0.0).miss_type is MissType.COLD
+        assert engine.access(0, True, BASE, 100.0).miss_type is MissType.WORD
+
+
+class TestNoCoherenceTraffic:
+    def test_no_directory_state(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)
+        engine.access(1, True, BASE, 500.0)
+        assert engine.directory_entry(BASE // LINE) is None
+        assert isinstance(engine.sharer_policy, NullSharerPolicy)
+
+    def test_remote_write_sends_no_invalidations(self):
+        """The write costs request + ack even with three other sharers."""
+        engine = make_neat_engine()
+        for core in range(3):
+            engine.access(core, False, BASE, 100.0 * core)
+        before = engine.network.messages_sent
+        engine.access(3, True, BASE, 1000.0)
+        assert engine.network.messages_sent - before == 2
+
+    def test_eviction_is_silent(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)
+        before = engine.network.messages_sent
+        # Fill the 2-way set (lines 8 apart map to the same set) so BASE's
+        # line is evicted.  The page is private, so the L1<->home traffic is
+        # all same-tile; the only messages are the two DRAM fetch round
+        # trips - and crucially no eviction notification.
+        engine.access(0, False, BASE + 8 * LINE, 100.0)
+        engine.access(0, False, BASE + 16 * LINE, 200.0)
+        assert engine.l1_state(0, BASE // LINE) is MESIState.INVALID
+        assert engine.network.messages_sent - before == 4
+        assert engine.evict_histogram.total == 1
+
+
+class TestWritePathSelfInvalidation:
+    def test_reload_after_stale_writer_discard_is_sharing_miss(self):
+        """The history INVAL bit must survive the write path's own update."""
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)  # core 0 caches
+        engine.access(1, True, BASE, 500.0)  # core 1 stales it
+        engine.access(0, True, BASE, 1000.0)  # core 0 writes: stale copy dies
+        result = engine.access(0, False, BASE, 1500.0)
+        assert result.miss_type is MissType.SHARING
+
+    def test_write_to_fresh_held_copy_is_upgrade_miss(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)  # fresh SHARED copy
+        result = engine.access(0, True, BASE, 500.0)
+        assert result.miss_type is MissType.UPGRADE
+
+    def test_write_to_stale_held_copy_is_sharing_miss(self):
+        engine = make_neat_engine()
+        engine.access(0, False, BASE, 0.0)  # core 0 caches
+        engine.access(1, True, BASE, 500.0)  # core 1 stales it
+        result = engine.access(0, True, BASE, 1000.0)
+        assert result.miss_type is MissType.SHARING
+        assert engine.self_invalidations == 1

@@ -275,3 +275,157 @@ class TestStatsPlumbing:
         engine.reset_stats()
         assert engine.replicas_created == 0
         assert engine.replica_hits == 0
+
+
+class TestEvictionCornerCases:
+    """The thinnest-tested engine path: replica replacement under pressure.
+
+    L2 geometry is 4KB/4-way (16 sets), so lines 16 apart share an L2 set;
+    they are also 8 apart in L1 terms, so they share the 2-way L1 set too -
+    a stride-16-line stream self-evicts from the L1 and funnels every
+    victim into ONE set of the local slice, which is exactly the capacity
+    churn the original VR replacement rules arbitrate.
+    """
+
+    STRIDE = 16 * LINE  # same L2 set (and same L1 set) as BASE
+
+    def _share_pages_of(self, engine, addrs, start=0.0):
+        """Pin every page containing ``addrs`` as R-NUCA-shared up front."""
+        page_size = engine.arch.page_size
+        t = start
+        for page_start in sorted({a - a % page_size for a in addrs}):
+            engine.access(14, False, page_start + 62 * LINE, t)
+            engine.access(15, False, page_start + 63 * LINE, t + 1.0)
+            t += 10.0
+        return t
+
+    def _off_home_core(self, engine, lines):
+        """A core that is not the home slice of any of ``lines``."""
+        homes = {engine.placement.shared_home(ln // LINE) for ln in lines}
+        return next(c for c in range(12) if c not in homes)
+
+    def test_replica_hit_after_l1_writeback(self):
+        """A MODIFIED victim writes back home and re-reads from the replica.
+
+        The corner: the replica must be *clean* yet hold the written data,
+        so the replica hit serves the write's value without touching the
+        home (golden checks run on every read).
+        """
+        engine = make_vr_engine(verify=True)
+        t = self._share_pages_of(engine, [BASE])
+        home = engine.placement.shared_home(BASE // LINE)
+        a = next(c for c in range(12) if c != home)
+        engine.access(a, True, BASE, t)  # M copy with a fresh token
+        engine.access(a, True, BASE + 8, t + 50.0)  # second word dirtied
+        evict_line(engine, a, BASE, t + 100.0)  # dirty writeback + replica
+        replica = engine.l2[a].lookup(BASE // LINE)
+        assert replica is not None and replica.is_replica
+        assert not replica.dirty  # data went home; the replica is clean
+        homeline = engine.l2[home].lookup(BASE // LINE)
+        assert homeline.dirty
+        hits_before = engine.replica_hits
+        engine.access(a, False, BASE, t + 2000.0)  # golden-checked word 0
+        assert engine.replica_hits == hits_before + 1
+        engine.access(a, False, BASE + 8, t + 2100.0)  # word 1 via fresh L1 hit
+        engine.check_final_state()
+
+    def test_capacity_churn_drops_lru_replicas(self):
+        """More victims than ways: the LRU replica yields its slot (and its
+        home sharer bit) to the newcomer."""
+        engine = make_vr_engine(verify=True)
+        addrs = [BASE + k * self.STRIDE for k in range(8)]
+        t = self._share_pages_of(engine, addrs)
+        a = self._off_home_core(engine, addrs)
+        for i, addr in enumerate(addrs):
+            engine.access(a, False, addr, t + 100.0 * i)
+        # 8 same-set lines through a 2-way L1: 6 evictions, all replicated
+        # into the single 4-way local L2 set -> at least 2 LRU replicas died.
+        assert engine.replicas_created == 6
+        assert engine.replica_evictions >= 2
+        resident = [
+            ln for ln, e in engine.l2[a].store.entries_in_set(BASE // LINE) if e.is_replica
+        ]
+        assert len(resident) <= 4
+        # Dropped replicas released their sharer slots at their homes.
+        for addr in addrs:
+            line = addr // LINE
+            entry = engine.directory_entry(line)
+            in_l1 = engine.l1d[a].lookup(line) is not None
+            is_replica = line in resident
+            assert (a in entry.sharers) == (in_l1 or is_replica)
+            entry.check_invariants()
+        # Churn never corrupted data: survivors still serve correct words.
+        surviving = [addr for addr in addrs if addr // LINE in resident]
+        assert surviving  # the MRU victims must have survived
+        hits_before = engine.replica_hits
+        engine.access(a, False, surviving[-1], t + 5000.0)
+        assert engine.replica_hits == hits_before + 1
+        engine.check_final_state()
+
+    def test_l2_fill_displaces_replica_before_active_home_line(self):
+        """An incoming home line claims a replica's way via the L2 victim
+        path (``_evict_l2_line`` on a replica -> ``_drop_replica``)."""
+        engine = make_vr_engine(verify=True)
+        addrs = [BASE + k * self.STRIDE for k in range(8)]
+        t = self._share_pages_of(engine, addrs)
+        a = self._off_home_core(engine, addrs)
+        for i, addr in enumerate(addrs):
+            engine.access(a, False, addr, t + 100.0 * i)
+        drops_before = engine.replica_evictions
+        # A *private* page of core ``a`` homes at slice ``a``; pick a line
+        # mapping into the replica-filled set 0 (line number = 0 mod 16).
+        # Its L2 fill must claim a replica's way (never an active home
+        # line); the L1 fill may ripple one more victim into the set.
+        private = 2 * BASE + (a * 64 + 0) * self.STRIDE
+        engine.access(a, False, private, t + 5000.0)
+        assert engine.replica_evictions > drops_before
+        assert engine.l2[a].lookup(private // LINE) is not None
+        engine.check_final_state()
+
+    def test_no_replication_when_set_full_of_active_home_lines(self):
+        """``_make_room_for_replica`` must refuse to displace live sharers."""
+        engine = make_vr_engine()
+        home = engine.placement.shared_home(BASE // LINE)
+        a = next(c for c in range(12) if c != home)
+        # Stuff set 0 of ``a``'s slice with four ACTIVE home lines: shared
+        # lines that hash to home ``a``, each kept alive in a *different*
+        # core's L1 (one core could hold at most two - every L2-set-0 line
+        # also maps to L1 set 0).
+        keepers = [c for c in range(12) if c != a][:4]
+        pinned = []
+        candidate = (2 * BASE) // LINE
+        while len(pinned) < 4:
+            if engine.placement.shared_home(candidate) == a:
+                pinned.append(candidate * LINE)
+            candidate += 16  # stay in L2 set 0
+        t = self._share_pages_of(engine, pinned + [BASE])
+        for keeper, addr in zip(keepers, pinned):
+            engine.access(keeper, False, addr, t)
+            t += 50.0
+        set0 = engine.l2[a].store.entries_in_set(BASE // LINE)
+        assert len(set0) == 4 and all(e.directory.sharers for _, e in set0)
+        failures_before = engine.replication_failures
+        engine.access(a, False, BASE, t + 1000.0)
+        evict_line(engine, a, BASE, t + 2000.0)  # victim cannot replicate
+        assert engine.replication_failures == failures_before + 1
+        assert engine.l2[a].lookup(BASE // LINE) is None
+        assert a not in engine.directory_entry(BASE // LINE).sharers
+
+
+class TestCounterHygiene:
+    def test_reset_stats_zeroes_replication_failures(self):
+        engine = make_vr_engine()
+        engine.replication_failures = 7
+        engine.reset_stats()
+        assert engine.replication_failures == 0
+
+    def test_export_stats_does_not_mutate_engine_counters(self):
+        from repro.sim.stats import RunStats
+
+        engine = make_vr_engine()
+        engine.replicas_created = 3
+        engine.replication_failures = 5
+        stats = RunStats()
+        engine.export_stats(stats)
+        assert stats.replicas_created == 3
+        assert engine.replication_failures == 5  # export is read-only

@@ -101,3 +101,33 @@ class TestDescribe:
 
     def test_baseline_has_no_pct(self):
         assert "pct" not in _job(proto=baseline_protocol()).describe()
+
+
+class TestVerifyTwin:
+    """``verify`` is transport-only: same hash, same stats, checked run."""
+
+    def test_verify_excluded_from_key_but_serialized(self):
+        from repro.experiments.harness import adaptive_protocol, bench_arch
+
+        plain = Job(workload="tsp", proto=adaptive_protocol(4), arch=bench_arch(16), scale="tiny")
+        checked = Job(
+            workload="tsp", proto=adaptive_protocol(4), arch=bench_arch(16),
+            scale="tiny", verify=True,
+        )
+        assert plain.key == checked.key
+        assert checked.to_dict()["verify"] is True
+        assert Job.from_dict(checked.to_dict()).verify is True
+        assert "verify" in checked.describe()
+        assert "verify" not in plain.describe()
+
+    def test_verified_run_produces_identical_stats(self):
+        from repro.experiments.harness import bench_arch
+        from repro.common.params import neat_protocol
+        from repro.runner.parallel import execute_job
+
+        plain = Job(workload="tsp", proto=neat_protocol(), arch=bench_arch(16), scale="tiny")
+        checked = Job(
+            workload="tsp", proto=neat_protocol(), arch=bench_arch(16),
+            scale="tiny", verify=True,
+        )
+        assert execute_job(plain).to_dict() == execute_job(checked).to_dict()

@@ -162,3 +162,23 @@ class TestWorkerDeterminism:
         with context.Pool(1, initializer=_pollute_worker_state) as pool:
             _, payload = pool.apply(_worker_run, (job.to_dict(),))
         assert json.dumps(payload, sort_keys=True) == _dumps(local)
+
+
+class TestVerifyTwinDedup:
+    def test_collapsed_twins_execute_the_checked_one(self, tmp_path):
+        from repro.experiments.harness import bench_arch
+        from repro.common.params import neat_protocol
+        from repro.runner.job import Job
+        from repro.runner.store import ResultStore
+
+        plain = Job(workload="tsp", proto=neat_protocol(), arch=bench_arch(16), scale="tiny")
+        checked = Job(workload="tsp", proto=neat_protocol(), arch=bench_arch(16),
+                      scale="tiny", verify=True)
+        store = ResultStore(tmp_path)
+        runner = ParallelRunner(store=store)
+        a, b = runner.run([plain, checked])
+        assert runner.simulations == 1  # twins collapse to one execution...
+        assert a.to_dict() == b.to_dict()
+        # ...and the execution was the verified one: the entry satisfies a
+        # later verified lookup without re-simulation.
+        assert ResultStore(tmp_path).get(checked) is not None

@@ -1,0 +1,109 @@
+"""Trace-variant confidence intervals (ROADMAP): seed sweeps + spread rows.
+
+One grid point is swept over ``Job.seed`` 0..4; the seed realizations must
+(a) actually differ - otherwise the axis is dead, (b) stay within a bounded
+completion-time spread - otherwise a single-seed figure point would be
+noise, and (c) aggregate into exactly one spread row per grid point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.harness import bench_arch
+from repro.runner.cli import main as repro_main
+from repro.runner.parallel import ParallelRunner
+from repro.runner.sweep import SweepGrid, seed_spread_rows, seed_spread_table, sweep_rows
+
+#: The sanity bound on max/min completion time across trace realizations of
+#: one point.  Tiny-scale traces are the noisiest we ship; anything beyond
+#: 1.5x would make single-seed figures meaningless.
+SPREAD_BOUND = 1.5
+
+
+def small_grid(num_seeds: int = 5) -> SweepGrid:
+    # radix is seed-sensitive at tiny scale (its key streams are drawn from
+    # the salted rng), unlike e.g. tiny tsp whose timing is seed-stable.
+    return SweepGrid(
+        workloads=("radix",),
+        families=("baseline",),
+        pcts=(1,),
+        arch=bench_arch(16),
+        scale="tiny",
+        num_seeds=num_seeds,
+    )
+
+
+class TestSeedAxis:
+    def test_grid_expands_seed_axis(self):
+        grid = small_grid(5)
+        jobs = grid.jobs()
+        assert [job.seed for job in jobs] == [0, 1, 2, 3, 4]
+        assert len({job.key for job in jobs}) == 5  # distinct content hashes
+        assert len({job.trace_key for job in jobs}) == 5  # distinct traces
+        assert "x 5 seeds" in grid.describe()
+
+    def test_seed_base_offsets_the_axis(self):
+        grid = SweepGrid(
+            workloads=("radix",), families=("baseline",), pcts=(1,),
+            arch=bench_arch(16), scale="tiny", seed=7, num_seeds=3,
+        )
+        assert [job.seed for job in grid.jobs()] == [7, 8, 9]
+
+
+class TestSpreadReport:
+    def test_spread_is_reported_and_bounded(self):
+        grid = small_grid(5)
+        jobs = grid.jobs()
+        results = ParallelRunner().run(jobs)
+        rows = sweep_rows(jobs, results)
+        spread = seed_spread_rows(rows)
+        assert len(spread) == 1  # one row per grid point
+        row = spread[0]
+        assert row["workload"] == "radix"
+        assert row["seeds"] == [0, 1, 2, 3, 4]
+        # The realizations genuinely differ...
+        times = {r["completion_time"] for r in rows}
+        assert len(times) > 1
+        # ...and the spread is reported and bounded.
+        assert 1.0 < row["completion_time_spread"] <= SPREAD_BOUND
+        assert 1.0 <= row["energy_spread"] <= SPREAD_BOUND
+        mean = row["completion_time_geomean"]
+        assert min(times) <= mean <= max(times)
+        table = seed_spread_table(spread)
+        assert "radix" in table and "T spread" in table
+
+    def test_single_seed_rows_collapse_to_spread_one(self):
+        grid = small_grid(1)
+        jobs = grid.jobs()
+        results = ParallelRunner().run(jobs)
+        spread = seed_spread_rows(sweep_rows(jobs, results))
+        assert spread[0]["completion_time_spread"] == 1.0
+
+
+class TestCliSeedsFlag:
+    def test_sweep_seeds_flag_reports_spread(self, tmp_path, capsys):
+        out = tmp_path / "rows.json"
+        code = repro_main([
+            "sweep", "--workloads", "radix", "--pct", "1", "--protocols",
+            "baseline", "--seeds", "3", "--cores", "16", "--scale", "tiny",
+            "--no-cache", "--quiet", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert sorted(payload) == ["rows", "spread"]
+        assert len(payload["rows"]) == 3
+        assert [r["seed"] for r in payload["rows"]] == [0, 1, 2]
+        assert len(payload["spread"]) == 1
+        assert payload["spread"][0]["seeds"] == [0, 1, 2]
+        assert payload["spread"][0]["completion_time_spread"] <= SPREAD_BOUND
+
+    def test_sweep_seeds_table_output(self, capsys):
+        code = repro_main([
+            "sweep", "--workloads", "radix", "--pct", "1", "--protocols",
+            "baseline", "--seeds", "2", "--cores", "16", "--scale", "tiny",
+            "--no-cache", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T spread" in out

@@ -98,3 +98,92 @@ class TestRobustness:
         store = ResultStore(tmp_path)
         store.put(job, stats)
         assert "1 results" in store.describe()
+
+
+class TestCompact:
+    def _line_count(self, store):
+        with store.path.open("r", encoding="utf-8") as fh:
+            return sum(1 for line in fh if line.strip())
+
+    def test_compact_drops_superseded_and_alien_lines(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        doctored = stats.to_dict()
+        doctored["instructions"] += 1
+        store.put(job, doctored)  # supersedes the first line
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"truncated": \n')  # torn write
+            fh.write(json.dumps({"schema": 9999, "key": "x", "stats": {}}) + "\n")
+        store = ResultStore(tmp_path)  # load ignores all three junk lines
+        assert self._line_count(store) == 4
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (1, 3)
+        assert self._line_count(store) == 1
+
+    def test_compact_round_trips(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        store.put(job, stats)  # duplicate line for the same key
+        before = store.get(job).to_dict()
+        store.compact()
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(job).to_dict() == before
+
+    def test_compact_is_idempotent(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        store.put(job, stats)
+        assert store.compact() == (1, 1)
+        assert store.compact() == (1, 0)
+
+    def test_compact_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.compact() == (0, 0)
+
+    def test_cli_cache_compact_verb(self, tmp_path, job, stats, capsys):
+        from repro.runner.cli import main as cli_main
+
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        store.put(job, stats)
+        assert cli_main(["cache", "compact", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 entries" in out and "dropped 1" in out
+        assert len(ResultStore(tmp_path)) == 1
+
+    def test_compact_keeps_entries_appended_by_another_process(self, tmp_path, job, stats):
+        writer = ResultStore(tmp_path)
+        writer.put(job, stats)
+        compactor = ResultStore(tmp_path)  # snapshot taken here
+        other = Job(workload=job.workload, proto=adaptive_protocol(7),
+                    arch=job.arch, scale=job.scale)
+        writer.put(other, stats)  # appended after the compactor loaded
+        kept, dropped = compactor.compact()
+        assert (kept, dropped) == (2, 0)
+        assert len(ResultStore(tmp_path)) == 2
+
+
+class TestVerifiedEntries:
+    def _twin(self, job, verify):
+        return Job(workload=job.workload, proto=job.proto, arch=job.arch,
+                   scale=job.scale, verify=verify)
+
+    def test_unverified_entry_misses_for_verify_job(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(self._twin(job, False), stats)
+        assert store.get(self._twin(job, True)) is None  # must re-run checked
+        assert store.get(self._twin(job, False)) is not None
+
+    def test_verified_entry_satisfies_both_twins(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(self._twin(job, True), stats)
+        assert store.get(self._twin(job, True)) is not None
+        assert store.get(self._twin(job, False)) is not None
+
+    def test_verified_run_upgrades_the_entry(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(self._twin(job, False), stats)
+        store.put(self._twin(job, True), stats)  # the re-run's result lands
+        reopened = ResultStore(tmp_path)
+        assert reopened.get(self._twin(job, True)) is not None

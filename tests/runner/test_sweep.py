@@ -128,3 +128,59 @@ class TestSweepCli:
         assert "2 results" in info and "tsp" in info
         assert cli_main(["cache", "clear", "--cache", cache]) == 0
         assert "cleared 2" in capsys.readouterr().out
+
+
+class TestComparisonFamilies:
+    def test_dls_and_neat_families(self):
+        grid = SweepGrid(
+            workloads=("tsp",), families=("dls", "neat"), pcts=(1,),
+            arch=bench_arch(16),
+        )
+        protos = grid.protocols()
+        assert [p.protocol for p in protos] == ["dls", "neat"]
+        assert all(p.directory == "none" for p in protos)
+
+    def test_families_have_no_pct_axis(self):
+        # dls/neat are single grid points: the PCT axis must not multiply them.
+        grid = SweepGrid(
+            workloads=("tsp",), families=("dls", "neat"), pcts=(1, 4, 8),
+            arch=bench_arch(16),
+        )
+        assert len(grid.protocols()) == 2
+
+    def test_five_way_grid_expands(self):
+        grid = SweepGrid(
+            workloads=("tsp",), families=("baseline", "victim", "dls", "neat", "adaptive"),
+            pcts=(4,), arch=bench_arch(16),
+        )
+        assert [p.protocol for p in grid.protocols()] == [
+            "baseline", "victim", "dls", "neat", "adaptive",
+        ]
+
+    def test_cli_accepts_new_families(self, tmp_path, capsys):
+        out = tmp_path / "rows.json"
+        code = cli_main([
+            "sweep", "--workloads", "tsp", "--pct", "1", "--protocols", "dls", "neat",
+            "--cores", "16", "--scale", "tiny", "--no-cache", "--quiet",
+            "--json", str(out),
+        ])
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert [r["protocol"] for r in rows] == ["dls", "neat"]
+        assert rows[0]["l1d_miss_rate"] == 1.0  # DLS never caches
+
+    def test_five_way_verified_sweep_acceptance(self, tmp_path, capsys):
+        """Acceptance: a grid with all five protocols completes under
+        golden-verify (any coherence violation would abort the run)."""
+        out = tmp_path / "rows.json"
+        code = cli_main([
+            "sweep", "--workloads", "tsp", "--pct", "4",
+            "--protocols", "pct", "baseline", "victim", "dls", "neat",
+            "--verify", "--cores", "16", "--scale", "tiny",
+            "--no-cache", "--quiet", "--json", str(out),
+        ])
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert sorted({r["protocol"] for r in rows}) == [
+            "adaptive", "baseline", "dls", "neat", "victim",
+        ]

@@ -34,10 +34,15 @@ class TestQuickstartContract:
         assert stats.completion_time > 0
         assert stats.energy.total > 0
 
-    def test_three_protocol_families_constructible(self):
+    def test_five_protocol_families_constructible(self):
         assert repro.baseline_protocol().protocol == "baseline"
         assert repro.ProtocolConfig(pct=4).protocol == "adaptive"
         assert repro.victim_replication_protocol().protocol == "victim"
+        assert repro.dls_protocol().protocol == "dls"
+        assert repro.neat_protocol().protocol == "neat"
+        # The directoryless families resolve to directory="none".
+        assert repro.dls_protocol().directory == "none"
+        assert repro.neat_protocol().directory == "none"
 
     def test_trace_io_round_trip_via_top_level(self, tmp_path):
         arch = repro.ArchConfig(num_cores=16, num_memory_controllers=4)
