@@ -86,9 +86,11 @@ class LocalityClassifier:
         entries = self.tracked_entries(l2line)
         if not entries:
             return SharerMode.PRIVATE
-        remote = sum(1 for e in entries if e.mode is SharerMode.REMOTE)
-        private = len(entries) - remote
-        return SharerMode.REMOTE if remote > private else SharerMode.PRIVATE
+        remote = 0
+        for e in entries:
+            if e.mode is SharerMode.REMOTE:
+                remote += 1
+        return SharerMode.REMOTE if 2 * remote > len(entries) else SharerMode.PRIVATE
 
     def resolve_mode(self, l2line: L2Line, core: int) -> tuple[SharerMode, CoreLocality | None]:
         """Mode used to service a request from ``core`` plus its tracked

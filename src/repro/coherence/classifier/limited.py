@@ -42,37 +42,42 @@ class LimitedClassifier(LocalityClassifier):
         self.allocation_failures = 0
 
     def locality_entry(self, l2line: L2Line, core: int, allocate: bool) -> CoreLocality | None:
-        entries: list[CoreLocality] | None = l2line.locality
+        # Tracked entries live in an insertion-ordered {core: entry} dict:
+        # the common "already tracked" case is one hash probe instead of a
+        # k-entry scan, and insertion order still gives the same
+        # replacement/vote semantics as the list it replaces.
+        entries: dict[int, CoreLocality] | None = l2line.locality
         if entries is None:
             if not allocate:
                 return None
-            entries = []
+            entries = {}
             l2line.locality = entries
-        for entry in entries:
-            if entry.core == core:
-                return entry
+        entry = entries.get(core)
+        if entry is not None:
+            return entry
         if not allocate:
             return None
         if len(entries) < self.k:
             entry = CoreLocality(core)  # free slot: start in the initial mode
-            entries.append(entry)
+            entries[core] = entry
             return entry
-        replacement = next((e for e in entries if not e.active), None)
+        replacement = next((e for e in entries.values() if not e.active), None)
         if replacement is None:
             self.allocation_failures += 1
             return None
         # Start the newcomer in its most probable mode (majority vote of the
         # tracked cores *before* replacement).
         vote = self.majority_vote(l2line)
-        entries.remove(replacement)
+        del entries[replacement.core]
         entry = CoreLocality(core, mode=vote)
-        entries.append(entry)
+        entries[core] = entry
         self.replacements += 1
         return entry
 
-    def tracked_entries(self, l2line: L2Line) -> list[CoreLocality]:
+    def tracked_entries(self, l2line: L2Line):
+        # A live view, not a copy: callers only iterate (hot path).
         entries = l2line.locality
-        return list(entries) if entries else []
+        return entries.values() if entries is not None else ()
 
     def storage_bits_per_entry(self, num_cores: int) -> int:
         """k x (core ID + mode + remote utilization + RAT-level) bits.

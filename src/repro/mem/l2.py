@@ -25,6 +25,7 @@ class L2Line:
         "last_use",
         "last_access",
         "dirty",
+        "dirty_words",
         "data",
         "directory",
         "locality",
@@ -36,6 +37,11 @@ class L2Line:
         self.last_use = 0  # LRU counter
         self.last_access = 0.0  # last-access timestamp (Timestamp scheme)
         self.dirty = False  # needs write-back to memory on eviction
+        #: Bitmask of words written *at this slice* by word-granularity
+        #: service.  DLS's word-interleaved LLC uses it to write back only
+        #: the words this slice is home to (other words of its copy may be
+        #: stale replicas of words homed elsewhere).
+        self.dirty_words = 0
         self.data: list[int] | None = None  # word values (verify mode)
         self.directory = None  # sharer-tracking entry (set by the directory)
         self.locality = None  # classifier state (set by the classifier)

@@ -25,8 +25,11 @@ from repro.network.messages import MsgType, message_flits
 from repro.network.topology import Mesh2D
 
 #: Cycles per bandwidth-accounting epoch.  One flit per cycle per link,
-#: so each epoch holds EPOCH_CYCLES flits of capacity.
+#: so each epoch holds EPOCH_CYCLES flits of capacity.  Must stay a power
+#: of two: the hot path computes epochs as ``int(t) >> EPOCH_SHIFT``.
 EPOCH_CYCLES = 32
+EPOCH_SHIFT = 5
+assert EPOCH_CYCLES == 1 << EPOCH_SHIFT
 
 
 class MeshNetwork:
@@ -42,22 +45,45 @@ class MeshNetwork:
         else:
             self.model_contention = model_contention
         self.naive_contention = arch.link_model == "naive"
-        self._link_use: dict[int, dict[int, int]] = {}
+        #: Epoch occupancy in ONE flat dict keyed ``(epoch << link_bits) |
+        #: link``: a single hash probe per link on the hottest loop in the
+        #: mesh, instead of a per-link container plus an inner dict.
+        self._link_bits = (self.topology.num_tiles * self.topology.num_tiles - 1).bit_length()
+        self._epoch_use: dict[int, int] = {}
         self._link_free_at: dict[int, float] = {}
-        # Traffic counters (inputs to the energy model).
-        self.router_flit_traversals = 0
+        #: Flat (src * num_tiles + dst) -> XY route memo, filled on demand
+        #: from the topology's route cache.
+        self._routes: list[tuple[int, ...] | None] = [None] * (
+            self.topology.num_tiles * self.topology.num_tiles
+        )
+        #: Flit count per message type, precomputed once (``message_flits``
+        #: depends only on the type and the arch constants) - the unicast
+        #: path is the hottest call chain in the simulator.
+        self._flits_table = [message_flits(msg, arch) for msg in MsgType]
+        self._hop_latency = arch.hop_latency
+        self._num_tiles = self.topology.num_tiles
+        # Traffic counters (inputs to the energy model).  Router traversals
+        # are derived: every flit that crosses H links visits H + 1 routers,
+        # so router = link + flits summed over messages (holds for the
+        # broadcast tree too: num_tiles routers, num_tiles - 1 edges).
         self.link_flit_traversals = 0
         self.messages_sent = 0
         self.flits_sent = 0
 
     # ------------------------------------------------------------------
+    @property
+    def router_flit_traversals(self) -> int:
+        """Derived traffic counter (see ``__init__``); kept in sync with the
+        other counters by construction, including across ``reset_stats``."""
+        return self.link_flit_traversals + self.flits_sent
+
     def reset_contention(self) -> None:
         """Forget all link reservations (used between independent runs)."""
-        self._link_use.clear()
+        self._epoch_use.clear()
         self._link_free_at.clear()
 
     def flits_for(self, msg: MsgType) -> int:
-        return message_flits(msg, self.arch)
+        return self._flits_table[msg]
 
     # ------------------------------------------------------------------
     def _traverse_naive(self, link: int, t_head: float, flits: int) -> float:
@@ -77,22 +103,35 @@ class MeshNetwork:
         """Reserve ``flits`` of bandwidth on ``link``; return head depart time."""
         if self.naive_contention:
             return self._traverse_naive(link, t_head, flits)
-        epochs = self._link_use.get(link)
-        if epochs is None:
-            epochs = {}
-            self._link_use[link] = epochs
-        epoch = int(t_head // EPOCH_CYCLES)
+        use = self._epoch_use
+        # Times are non-negative, so ``int(t) >> EPOCH_SHIFT`` equals
+        # ``int(t // EPOCH_CYCLES)`` without the float division.
+        epoch = int(t_head) >> EPOCH_SHIFT
+        key = (epoch << self._link_bits) | link
+        # Fast path: the whole message fits in the arrival epoch (the common
+        # case - messages are <= 9 flits against 32 flits of capacity).
+        used = use.get(key, 0)
+        if used + flits <= EPOCH_CYCLES:
+            use[key] = used + flits
+            return t_head
+        return self._traverse_congested(link, epoch, t_head, flits)
+
+    def _traverse_congested(self, link: int, epoch: int, t_head: float, flits: int) -> float:
+        """Slow path: the arrival epoch cannot hold the whole message."""
+        use = self._epoch_use
+        link_bits = self._link_bits
         first = epoch
-        while epochs.get(epoch, 0) >= EPOCH_CYCLES:
+        while use.get((epoch << link_bits) | link, 0) >= EPOCH_CYCLES:
             epoch += 1
         depart = t_head if epoch == first else float(epoch * EPOCH_CYCLES)
         remaining = flits
         while remaining > 0:
-            used = epochs.get(epoch, 0)
+            key = (epoch << link_bits) | link
+            used = use.get(key, 0)
             take = EPOCH_CYCLES - used
             if take > remaining:
                 take = remaining
-            epochs[epoch] = used + take
+            use[key] = used + take
             remaining -= take
             epoch += 1
         return depart
@@ -106,20 +145,48 @@ class MeshNetwork:
         network energy, which is exactly why R-NUCA locates private data at
         the requester's own slice.
         """
-        flits = self.flits_for(msg)
+        flits = self._flits_table[msg]
         if src == dst:
             return start
-        path = self.topology.route(src, dst)
-        hop = self.arch.hop_latency
+        routes = self._routes
+        route_key = src * self._num_tiles + dst
+        path = routes[route_key]
+        if path is None:
+            path = self.topology.route(src, dst)
+            routes[route_key] = path
+        hop = self._hop_latency
         t_head = start
         if self.model_contention:
-            for link in path:
-                t_head = self._traverse(link, t_head, flits) + hop
+            if self.naive_contention:
+                traverse = self._traverse_naive
+                for link in path:
+                    t_head = traverse(link, t_head, flits) + hop
+            else:
+                # The epoch fast path of _traverse, inlined: one dict probe
+                # per link when the arrival epoch has capacity.  ``t_int``
+                # shadows int(t_head): hops are integral, so the integer
+                # part advances by ``hop`` per uncontended link without a
+                # float truncation per link.
+                use = self._epoch_use
+                link_bits = self._link_bits
+                eshift, ecap = EPOCH_SHIFT, EPOCH_CYCLES
+                t_int = int(t_head)
+                for link in path:
+                    key = ((t_int >> eshift) << link_bits) | link
+                    used = use.get(key, 0)
+                    if used + flits <= ecap:
+                        use[key] = used + flits
+                        t_head += hop
+                        t_int += hop
+                    else:
+                        t_head = (
+                            self._traverse_congested(link, t_int >> eshift, t_head, flits)
+                            + hop
+                        )
+                        t_int = int(t_head)
         else:
             t_head = start + len(path) * hop
-        hops = len(path)
-        self.router_flit_traversals += flits * (hops + 1)
-        self.link_flit_traversals += flits * hops
+        self.link_flit_traversals += flits * len(path)
         self.messages_sent += 1
         self.flits_sent += flits
         return t_head + (flits - 1)
@@ -147,7 +214,8 @@ class MeshNetwork:
             else:
                 t_head = t_head + hop
             arrival[dst] = t_head + (flits - 1)
-        self.router_flit_traversals += flits * self.topology.num_tiles
+        # router traversals (flits * num_tiles) are derived: link
+        # traversals (flits * (num_tiles - 1) tree edges) + flits_sent.
         self.link_flit_traversals += flits * len(edges)
         self.messages_sent += 1
         self.flits_sent += flits

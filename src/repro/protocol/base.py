@@ -42,6 +42,7 @@ from repro.mem.l2 import L2Line, L2Slice
 from repro.mem.memctrl import MemorySubsystem
 from repro.network.mesh import MeshNetwork
 from repro.network.messages import MsgType
+from repro.rnuca.page_table import PageKind
 from repro.rnuca.placement import RNucaPlacement
 from repro.sim.stats import MissStats, UtilizationHistogram
 
@@ -49,6 +50,13 @@ from repro.sim.stats import MissStats, UtilizationHistogram
 _EVER_CACHED = 1  # line was previously brought into this core's L1
 _LAST_REMOVAL_INVAL = 2  # last removal was an invalidation (else eviction)
 _EVER_REMOTE = 4  # line was previously accessed remotely by this core
+
+#: Write tokens are derived per core: ``count * _TOKEN_STRIDE + core``.  The
+#: k-th write of a core therefore carries the same token value in every
+#: protocol family (a core's write sequence is fixed by its trace stream),
+#: which lets the trace-level differential harness compare golden images of
+#: full ``Simulator`` runs even though families interleave cores differently.
+_TOKEN_STRIDE = 1 << 20
 
 
 class AccessResult:
@@ -77,7 +85,39 @@ class AccessResult:
 
 
 class ProtocolEngineBase:
-    """Coherence protocol + memory hierarchy for one simulated multicore."""
+    """Coherence protocol + memory hierarchy for one simulated multicore.
+
+    Slotted: the engine's attributes are read on every simulated access,
+    and slot loads beat instance-dict lookups on the hot path.  Subclasses
+    declare their own ``__slots__`` for any extra state.
+    """
+
+    __slots__ = (
+        "arch",
+        "proto",
+        "verify",
+        "network",
+        "memsys",
+        "placement",
+        "sharer_policy",
+        "classifier",
+        "l1d",
+        "l2",
+        "energy",
+        "miss_stats",
+        "inval_histogram",
+        "evict_histogram",
+        "golden",
+        "_dram_image",
+        "_write_counts",
+        "_write_token",
+        "_history",
+        "_home_of_line",
+        "_l2_latency",
+        "_words_per_line",
+        "_hit_result",
+        "_line_home_cache",
+    )
 
     def __init__(
         self,
@@ -105,7 +145,8 @@ class ProtocolEngineBase:
 
         self.golden = GoldenMemory() if verify else None
         self._dram_image: dict[int, list[int]] = {}
-        self._write_token = 0
+        self._write_counts = [0] * arch.num_cores
+        self._write_token = 0  # most recently issued token value
 
         self._history: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
         self._home_of_line: dict[int, int] = {}
@@ -113,6 +154,17 @@ class ProtocolEngineBase:
         # Cheap int aliases for the hot path.
         self._l2_latency = arch.l2.latency
         self._words_per_line = arch.words_per_line
+
+        #: Shared L1-hit result: every field of a hit is constant (zero
+        #: latency decomposition, ``hit=True``), so the hit fast path returns
+        #: this one immutable-by-convention instance instead of allocating.
+        self._hit_result = AccessResult()
+        self._hit_result.hit = True
+
+        #: line -> home-slice memo.  ``data_home`` is stable per line except
+        #: across a private -> shared page transition, which is one-way; the
+        #: transition handler drops the page's lines from this cache.
+        self._line_home_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
@@ -128,7 +180,7 @@ class ProtocolEngineBase:
         self.inval_histogram = UtilizationHistogram()
         self.evict_histogram = UtilizationHistogram()
         net = self.network
-        net.router_flit_traversals = 0
+        # router_flit_traversals is derived from these two; no reset needed.
         net.link_flit_traversals = 0
         net.messages_sent = 0
         net.flits_sent = 0
@@ -161,6 +213,32 @@ class ProtocolEngineBase:
         """Service one load/store issued by ``core`` at time ``now``."""
         raise NotImplementedError
 
+    def scheduler_fast_path(self) -> dict | None:
+        """Opt-in L1-hit fast path for the simulator's inner loop.
+
+        A family whose L1-hit handling is pure bookkeeping (no protocol
+        actions, no latency) may return a descriptor exposing the raw
+        structures the scheduler needs to service a hit *inline*, skipping
+        the ``access`` call entirely:
+
+        ``buckets``    all cores' L1 set dicts in one flat list; the
+                       bucket of (core, line) is
+                       ``buckets[(core << set_bits) | (line & set_mask)]``,
+        ``set_bits``   log2(sets per L1) for the flat indexing above,
+        ``set_mask``   the shared L1 set-index mask,
+        ``stores``     per-core ``SetAssocCache`` objects (LRU counter),
+        ``l1s``        per-core ``L1Cache`` objects (hit counter),
+        ``exclusive``  minimum state for a silent write hit,
+        ``modified``   the state to write on a write hit.
+
+        The contract is strict bit-identity: the inline path must perform
+        exactly the bookkeeping ``access`` would (LRU, utilization,
+        timestamp, hit/energy counters) and fall back to ``access`` for
+        anything else.  Default: no fast path (miss-only families, or hit
+        handling with side effects - version checks, golden verification).
+        """
+        return None
+
     # ------------------------------------------------------------------
     @staticmethod
     def _classify_miss(flags: int, upgrade: bool, serviced_remote: bool) -> MissType:
@@ -190,12 +268,61 @@ class ProtocolEngineBase:
         ``result.l2_offchip``).  Returns ``(home, slice_, l2line, t)`` with
         ``t`` the time service at the home may begin.
         """
-        home, flush_owner = self.placement.data_home(line, core)
+        # Memoized home: a line's home is stable while its page's
+        # classification is stable - shared pages never reclassify and a
+        # private page keeps its home for accesses by the owner.  Only an
+        # access by a *different* core can move the home (the one-way
+        # private -> shared transition); those fall through to the page
+        # table via _resolve_data_home.
+        cached = self._line_home_cache.get(line)
+        if cached is not None and (cached[1] < 0 or cached[1] == core):
+            return self._deliver_request(core, line, cached[0], None, req_msg, now, result)
+        home, flush_owner = self._resolve_data_home(core, line)
+        return self._deliver_request(core, line, home, flush_owner, req_msg, now, result)
+
+    def _resolve_data_home(self, core: int, line: int) -> tuple[int, int | None]:
+        """Home-memo miss path: classify through the page table and refill
+        the memo.  Performs the first-touch classification side effects
+        exactly as the unmemoized path did; on a private -> shared
+        transition the page's stale memo entries are dropped."""
+        placement = self.placement
+        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
+        kind, owner, previous_owner = placement.page_table.classify_data(page, core)
+        if kind is PageKind.PRIVATE:
+            self._line_home_cache[line] = (owner, owner)
+            return owner, None
+        if previous_owner is not None:
+            # Transition: this page's lines were memoized at the old
+            # private owner's slice; forget them before they mislead.
+            for pline in addrmod.lines_in_page(page, self.arch.page_size):
+                self._line_home_cache.pop(pline, None)
+        home = placement.shared_home(line)
+        self._line_home_cache[line] = (home, -1)
+        return home, previous_owner
+
+    def _deliver_request(
+        self,
+        core: int,
+        line: int,
+        home: int,
+        flush_owner: int | None,
+        req_msg: MsgType,
+        now: float,
+        result: AccessResult,
+    ) -> tuple[int, L2Slice, L2Line, float]:
+        """Home-resolution-agnostic half of :meth:`_request_at_home`.
+
+        Split out so families with a different home function (DLS's
+        word-interleaved LLC) can resolve the home themselves and reuse the
+        shared delivery path (flush, unicast, serialization, tag access,
+        off-chip fill).
+        """
         if flush_owner is not None:
             self._flush_private_page(line, flush_owner, now)
         t = self.network.unicast(core, home, req_msg, now)
         slice_ = self.l2[home]
-        l2line = slice_.lookup(line)
+        store = slice_.store
+        l2line = store._sets[line & store._set_mask].get(line)
         if l2line is not None and l2line.busy_until > t:
             result.l2_waiting = l2line.busy_until - t
             t = l2line.busy_until
@@ -227,10 +354,11 @@ class ProtocolEngineBase:
             slice_.word_writes += 1
             self.energy.l2_word_writes += 1
             l2line.dirty = True
+            l2line.dirty_words |= 1 << word
             if self.verify:
-                self._write_token += 1
-                l2line.data[word] = self._write_token
-                self.golden.write_word(line, word, self._write_token)
+                token = self._issue_write_token(core)
+                l2line.data[word] = token
+                self.golden.write_word(line, word, token)
             reply = MsgType.WORD_WRITE_ACK
         else:
             slice_.word_reads += 1
@@ -317,10 +445,24 @@ class ProtocolEngineBase:
                 slice_.remove(pline)
 
     # ------------------------------------------------------------------
-    def _verified_l1_write(self, entry, line: int, word: int) -> None:
-        self._write_token += 1
-        entry.data[word] = self._write_token
-        self.golden.write_word(line, word, self._write_token)
+    def _issue_write_token(self, core: int) -> int:
+        """Mint the token for ``core``'s next write (order-independent).
+
+        Tokens encode ``(per-core write index, core)`` so their values do
+        not depend on how the protocol family interleaved *other* cores'
+        writes; see ``_TOKEN_STRIDE``.  The most recent token stays
+        available as ``self._write_token`` for same-access refresh paths.
+        """
+        count = self._write_counts[core] + 1
+        self._write_counts[core] = count
+        token = count * _TOKEN_STRIDE + core
+        self._write_token = token
+        return token
+
+    def _verified_l1_write(self, core: int, entry, line: int, word: int) -> None:
+        token = self._issue_write_token(core)
+        entry.data[word] = token
+        self.golden.write_word(line, word, token)
 
     # ------------------------------------------------------------------
     # End-of-run functional verification (differential harness).

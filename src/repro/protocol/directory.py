@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from repro.common import addr as addrmod
 from repro.common.errors import CoherenceError, SimulationError
-from repro.common.types import MESIState, RemovalReason, SharerMode
+from repro.common.types import MESIState, MissType, RemovalReason, SharerMode
 from repro.coherence.directory import DirectoryEntry
 from repro.mem.l2 import L2Line, L2Slice
 from repro.network.messages import MsgType
@@ -54,36 +54,91 @@ from repro.protocol.base import (
 )
 
 
+_LINE_BITS = addrmod.LINE_BITS
+_WORD_BITS = addrmod.WORD_BITS
+_EXCLUSIVE = MESIState.EXCLUSIVE
+_MODIFIED = MESIState.MODIFIED
+
+# Message types as plain ints: the mesh's flit table indexes by value, and
+# int indexing skips the enum __index__ dispatch on the hot path.
+_READ_REQ = int(MsgType.READ_REQ)
+_WRITE_REQ = int(MsgType.WRITE_REQ)
+_UPGRADE_REQ = int(MsgType.UPGRADE_REQ)
+_LINE_REPLY = int(MsgType.LINE_REPLY)
+_WORD_WRITE_ACK = int(MsgType.WORD_WRITE_ACK)
+
+
 class DirectoryEngine(ProtocolEngineBase):
     """Directory protocol engine (baseline ACKwise / adaptive classifier)."""
+
+    __slots__ = ()
 
     # ==================================================================
     # Public entry point
     # ==================================================================
     def access(self, core: int, is_write: bool, address: int, now: float) -> AccessResult:
-        """Service one load/store issued by ``core`` at time ``now``."""
-        line = address >> addrmod.LINE_BITS
-        word = (address >> addrmod.WORD_BITS) & (self._words_per_line - 1)
+        """Service one load/store issued by ``core`` at time ``now``.
+
+        The L1-hit branch is the simulator's single hottest basic block
+        (~80% of all accesses in steady state), so the lookup and the hit
+        bookkeeping of ``L1Cache.lookup``/``L1Cache.hit`` are inlined here
+        and the constant all-zero hit result is a shared per-engine
+        instance instead of a fresh allocation.
+        """
+        line = address >> _LINE_BITS
         l1 = self.l1d[core]
-        entry = l1.lookup(line)
-        if entry is not None and (not is_write or entry.state >= MESIState.EXCLUSIVE):
+        store = l1.store
+        entry = store._sets[line & store._set_mask].get(line)
+        if entry is not None and (not is_write or entry.state >= _EXCLUSIVE):
             # L1 hit (E -> M upgrade is silent).
-            l1.hit(entry, now)
-            self.miss_stats.record_hit()
-            result = AccessResult()
-            result.hit = True
+            l1.hits += 1
+            counter = store._use_counter + 1
+            store._use_counter = counter
+            entry.last_use = counter
+            entry.utilization += 1
+            entry.last_access = now
+            self.miss_stats.hits += 1
             if is_write:
-                entry.state = MESIState.MODIFIED
+                entry.state = _MODIFIED
                 self.energy.l1d_writes += 1
                 if self.verify:
-                    self._verified_l1_write(entry, line, word)
+                    word = (address >> _WORD_BITS) & (self._words_per_line - 1)
+                    self._verified_l1_write(core, entry, line, word)
             else:
                 self.energy.l1d_reads += 1
                 if self.verify:
+                    word = (address >> _WORD_BITS) & (self._words_per_line - 1)
                     self.golden.check_read(line, word, entry.data[word], f"L1 hit core {core}")
-            return result
+            return self._hit_result
+        word = (address >> _WORD_BITS) & (self._words_per_line - 1)
         upgrade = entry is not None  # write to an S-state copy
         return self._service_miss(core, is_write, line, word, now, upgrade)
+
+    def scheduler_fast_path(self) -> dict | None:
+        """Expose the L1 structures for the scheduler's inline hit path.
+
+        Directory-family L1 hits (including the silent E -> M upgrade) are
+        pure tag-side bookkeeping, so the simulator may service them
+        without calling :meth:`access`.  Verify mode checks every hit
+        against the golden memory and must take the full path.
+        """
+        if self.verify:
+            return None
+        store = self.l1d[0].store
+        return {
+            # All cores' set dicts in one flat list: bucket of (core, line)
+            # is ``buckets[(core << set_bits) | (line & set_mask)]`` - a
+            # single index operation per probe.  The dict objects are
+            # shared with the stores, so miss-path fills/evictions are
+            # visible here immediately.
+            "buckets": [bucket for l1 in self.l1d for bucket in l1.store._sets],
+            "set_bits": (store.num_sets - 1).bit_length(),
+            "stores": [l1.store for l1 in self.l1d],
+            "l1s": self.l1d,
+            "set_mask": store._set_mask,
+            "exclusive": _EXCLUSIVE,
+            "modified": _MODIFIED,
+        }
 
     # ------------------------------------------------------------------
     def _install_line_state(self, l2line: L2Line) -> None:
@@ -103,23 +158,30 @@ class DirectoryEngine(ProtocolEngineBase):
     ) -> AccessResult:
         l1 = self.l1d[core]
         l1.misses += 1
-        self.energy.l1d_tag_accesses += 1
+        energy = self.energy
+        energy.l1d_tag_accesses += 1
         result = AccessResult()
 
         # ---- request to the home slice (tag + directory lookup there).
         if is_write:
-            req_msg = MsgType.UPGRADE_REQ if upgrade else MsgType.WRITE_REQ
+            req_msg = _UPGRADE_REQ if upgrade else _WRITE_REQ
         else:
-            req_msg = MsgType.READ_REQ
+            req_msg = _READ_REQ
         home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
-        self.energy.directory_lookups += 1
+        energy.directory_lookups += 1
 
-        # ---- classify the requester: private or remote sharer.
+        # ---- classify the requester: private or remote sharer
+        # (classifier.resolve_mode, inlined).
         classifier = self.classifier
         if classifier is None:
             mode, centry = SharerMode.PRIVATE, None
         else:
-            mode, centry = classifier.resolve_mode(l2line, core)
+            centry = classifier.locality_entry(l2line, core, True)
+            if centry is not None:
+                mode = centry.mode
+            else:
+                classifier.vote_decisions += 1
+                mode = classifier.majority_vote(l2line)
 
         if upgrade and mode is SharerMode.REMOTE:
             # Rare: the classifier lost this core's slot and votes remote
@@ -135,11 +197,23 @@ class DirectoryEngine(ProtocolEngineBase):
             )
             serviced_remote = not promoted
 
-        # ---- miss classification uses the pre-service history.
-        flags = self._history[core].get(line, 0)
-        result.miss_type = self._classify_miss(flags, upgrade, serviced_remote)
+        # ---- miss classification uses the pre-service history
+        # (_classify_miss, inlined - Section 4.4).
+        history = self._history[core]
+        flags = history.get(line, 0)
+        if upgrade:
+            miss_type = MissType.UPGRADE
+        elif serviced_remote and flags & _EVER_REMOTE:
+            miss_type = MissType.WORD
+        elif not flags & _EVER_CACHED:
+            miss_type = MissType.COLD
+        elif flags & _LAST_REMOVAL_INVAL:
+            miss_type = MissType.SHARING
+        else:
+            miss_type = MissType.CAPACITY
+        result.miss_type = miss_type
         result.remote = serviced_remote
-        self.miss_stats.record_miss(result.miss_type)
+        self.miss_stats._miss_counts[miss_type] += 1
 
         dirent = l2line.directory
 
@@ -164,7 +238,7 @@ class DirectoryEngine(ProtocolEngineBase):
                 core, is_write, line, word, l2line, home, slice_, t, upgrade
             )
             flags |= _EVER_CACHED
-        self._history[core][line] = flags
+        history[line] = flags
 
         # ---- settle timing and bookkeeping at the home.
         # Writes and line grants own the line until the directory settles;
@@ -178,8 +252,12 @@ class DirectoryEngine(ProtocolEngineBase):
                 l2line.busy_until = busy
         else:
             l2line.busy_until = t
-        slice_.touch(l2line, t)
-        self.energy.directory_updates += 1
+        # slice_.touch, inlined (bump LRU + last-access timestamp).
+        store = slice_.store
+        store._use_counter = counter = store._use_counter + 1
+        l2line.last_use = counter
+        l2line.last_access = t
+        energy.directory_updates += 1
 
         result.latency = reply_t - now
         result.l1_to_l2 = (
@@ -224,18 +302,20 @@ class DirectoryEngine(ProtocolEngineBase):
         classifier = self.classifier
         if classifier is not None:
             classifier.note_private_grant(l2line, core)
+        policy = self.sharer_policy
+        energy = self.energy
 
         if is_write:
-            self.sharer_policy.set_owner(dirent, core)
-            reply = MsgType.WORD_WRITE_ACK if upgrade else MsgType.LINE_REPLY
+            policy.set_owner(dirent, core)
+            reply = _WORD_WRITE_ACK if upgrade else _LINE_REPLY
         else:
-            self.sharer_policy.add_sharer(dirent, core)
+            policy.add_sharer(dirent, core)
             if len(dirent.sharers) == 1:
-                self.sharer_policy.set_owner(dirent, core)  # E grant
-            reply = MsgType.LINE_REPLY
+                policy.set_owner(dirent, core)  # E grant
+            reply = _LINE_REPLY
         if not upgrade:
             slice_.line_reads += 1
-            self.energy.l2_line_reads += 1
+            energy.l2_line_reads += 1
 
         reply_t = self.network.unicast(home, core, reply, t)
 
@@ -250,9 +330,9 @@ class DirectoryEngine(ProtocolEngineBase):
             l1.store.touch(entry)
             entry.utilization += 1
             entry.last_access = reply_t
-            self.energy.l1d_writes += 1
+            energy.l1d_writes += 1
             if self.verify:
-                self._verified_l1_write(entry, line, word)
+                self._verified_l1_write(core, entry, line, word)
             return reply_t
 
         if is_write:
@@ -263,16 +343,16 @@ class DirectoryEngine(ProtocolEngineBase):
             state = MESIState.SHARED
         data = list(l2line.data) if self.verify else None
         evicted = l1.fill(line, state, reply_t, data)
-        self.energy.l1d_line_fills += 1
+        energy.l1d_line_fills += 1
         if evicted is not None:
             self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
         entry = l1.lookup(line)
         if is_write:
-            self.energy.l1d_writes += 1
+            energy.l1d_writes += 1
             if self.verify:
-                self._verified_l1_write(entry, line, word)
+                self._verified_l1_write(core, entry, line, word)
         else:
-            self.energy.l1d_reads += 1
+            energy.l1d_reads += 1
             if self.verify:
                 self.golden.check_read(line, word, entry.data[word], f"fill read core {core}")
         return reply_t
@@ -296,7 +376,10 @@ class DirectoryEngine(ProtocolEngineBase):
         come only from the true sharers.
         """
         dirent = l2line.directory
-        targets = [c for c in dirent.sharers if c != requester]
+        sharers = dirent.sharers
+        if not sharers or (len(sharers) == 1 and requester in sharers):
+            return 0.0  # nobody else to invalidate (the common write miss)
+        targets = [c for c in sharers if c != requester]
         if not targets:
             return 0.0
         if self.sharer_policy.use_broadcast(dirent):

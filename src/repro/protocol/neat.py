@@ -56,6 +56,8 @@ from repro.protocol.base import (
 class NeatEngine(ProtocolEngineBase):
     """Self-invalidation / self-downgrade engine without sharer tracking."""
 
+    __slots__ = ("_line_version", "_copy_version", "self_invalidations", "write_throughs")
+
     def __init__(self, arch, proto, verify: bool = False) -> None:
         super().__init__(arch, proto, verify)
         #: Global per-line write version; an L1 copy is valid while its
@@ -173,6 +175,8 @@ class NeatEngine(ProtocolEngineBase):
         other core's copy goes stale and self-invalidates on its next use.
         """
         old_version = self._line_version.get(line, 0)
+        # _service_word_at_home issues this write's token (verify mode);
+        # self._write_token below refreshes the writer's own copy with it.
         reply_t = self._service_word_at_home(core, True, line, word, l2line, home, slice_, t)
         self.write_throughs += 1
         self._line_version[line] = old_version + 1

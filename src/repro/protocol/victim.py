@@ -40,6 +40,14 @@ from repro.protocol.directory import DirectoryEngine
 class VictimReplicationEngine(DirectoryEngine):
     """Protocol engine with victim replication in the local L2 slices."""
 
+    __slots__ = (
+        "replicas_created",
+        "replica_hits",
+        "replica_invalidations",
+        "replica_evictions",
+        "replication_failures",
+    )
+
     def __init__(self, arch, proto, verify: bool = False) -> None:
         super().__init__(arch, proto, verify)
         # Statistics.

@@ -49,6 +49,28 @@ class RNucaPlacement:
         return self.shared_home(line), previous_owner
 
     # ------------------------------------------------------------------
+    def shared_word_home(self, line: int, word: int) -> int:
+        """Word-interleaved home slice for a shared word (the DLS LLC).
+
+        DLS distributes the shared last-level cache at *word* granularity:
+        consecutive words stripe round-robin across consecutive slices, so
+        a line's 8 words spread over 8 slices and a streaming scan loads
+        every slice evenly instead of hammering one line home.
+        """
+        return (line * self.arch.words_per_line + word) % self.arch.num_cores
+
+    def data_word_home(self, line: int, word: int, core: int) -> tuple[int, int | None]:
+        """Per-word home for a DLS data access (same contract as
+        :meth:`data_home`: private pages stay at the owner's slice, shared
+        words interleave, and ``flush_owner`` reports a private -> shared
+        transition that requires flushing the old owner's slice)."""
+        page = addrmod.page_of(line << addrmod.LINE_BITS, self.arch.page_size)
+        kind, owner, previous_owner = self.page_table.classify_data(page, core)
+        if kind is PageKind.PRIVATE:
+            return owner, None
+        return self.shared_word_home(line, word), previous_owner
+
+    # ------------------------------------------------------------------
     def cluster_tiles(self, core: int) -> tuple[int, ...]:
         """Tiles of ``core``'s instruction-replication cluster (2x2 block)."""
         cached = self._cluster_tiles_cache.get(core)

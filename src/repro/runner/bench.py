@@ -1,0 +1,130 @@
+"""``repro bench``: trace-build + simulate throughput on fixed grid points.
+
+Measures the two hot paths the columnar trace IR was built for:
+
+* **build** - records/second constructing the workload trace (generator
+  kernels appending into the column arrays, one validation pass);
+* **simulate** - records/second executing the trace through the simulator
+  (the ``Simulator._execute`` / ``ProtocolEngine.access`` inner loops),
+  counting every executed record: with warmup enabled a trace is executed
+  twice, so one run executes ``2 * total_records`` records.
+
+Methodology: every sample is CPU time (``time.process_time`` - immune to
+other processes, though not to frequency scaling) and each metric reports
+the **best of N repetitions**, because a throttled container only ever adds
+time; the fastest repetition is the closest estimate of the code's true
+cost.  Grid points are fixed Figure-11 sweep points (workload x PCT at 64
+cores, small scale, warmup on) so numbers are comparable across commits;
+``BENCH_pr3.json`` in the repo root records the PR-3 baseline/after pair
+produced by this verb.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.common.params import ArchConfig, ProtocolConfig, baseline_protocol
+from repro.sim.multicore import Simulator
+from repro.workloads.registry import load_workload
+
+#: The default fixed grid points (Figure-11 sweep points).  The first entry
+#: is the primary point quoted in CHANGES/BENCH trajectories; the rest give
+#: a hit-heavy (susan), a miss-heavy (radix) and a sync-heavy (tsp) profile
+#: so a regression in any one hot path is visible.
+DEFAULT_POINTS: tuple[tuple[str, int], ...] = (
+    ("tsp", 4),
+    ("susan", 4),
+    ("radix", 4),
+)
+
+
+def _protocol_for(pct: int) -> ProtocolConfig:
+    if pct <= 1:
+        return baseline_protocol()
+    return ProtocolConfig(protocol="adaptive", pct=pct, rat_max=max(16, pct))
+
+
+def bench_point(
+    workload: str,
+    pct: int = 4,
+    cores: int = 64,
+    scale: str = "small",
+    repeats: int = 3,
+    warmup: bool = True,
+) -> dict:
+    """Benchmark one grid point; returns a JSON-ready result row."""
+    arch = ArchConfig(num_cores=cores)
+    proto = _protocol_for(pct)
+
+    build_best = float("inf")
+    trace = None
+    for _ in range(repeats):
+        t0 = time.process_time()
+        trace = load_workload(workload, arch, scale=scale)
+        build_best = min(build_best, time.process_time() - t0)
+
+    simulator = Simulator(arch, proto, warmup=warmup)
+    sim_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.process_time()
+        simulator.run(trace)
+        sim_best = min(sim_best, time.process_time() - t0)
+
+    # Guard against coarse process_time clocks resolving a fast repetition
+    # to exactly zero (e.g. tiny traces on ~16 ms Windows ticks).
+    build_best = max(build_best, 1e-9)
+    sim_best = max(sim_best, 1e-9)
+    records = trace.total_records
+    executed = records * (2 if warmup else 1)
+    return {
+        "workload": workload,
+        "pct": pct,
+        "cores": cores,
+        "scale": scale,
+        "warmup": warmup,
+        "repeats": repeats,
+        "records": records,
+        "build_seconds": round(build_best, 6),
+        "build_records_per_second": round(records / build_best),
+        "simulate_seconds": round(sim_best, 6),
+        "simulate_records_per_second": round(executed / sim_best),
+    }
+
+
+def run_bench(
+    points: tuple[tuple[str, int], ...] = DEFAULT_POINTS,
+    cores: int = 64,
+    scale: str = "small",
+    repeats: int = 3,
+    json_path: str | None = None,
+) -> dict:
+    """Benchmark all ``points``; optionally write the report as JSON."""
+    rows = [
+        bench_point(workload, pct, cores=cores, scale=scale, repeats=repeats)
+        for workload, pct in points
+    ]
+    report = {
+        "schema": 1,
+        "metric": "records/second, best of repeats, process_time",
+        "points": rows,
+    }
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"{'workload':<14} {'pct':>3} {'records':>9} "
+        f"{'build rec/s':>12} {'simulate rec/s':>15}"
+    ]
+    for row in report["points"]:
+        lines.append(
+            f"{row['workload']:<14} {row['pct']:>3} {row['records']:>9} "
+            f"{row['build_records_per_second']:>12} "
+            f"{row['simulate_records_per_second']:>15}"
+        )
+    return "\n".join(lines)

@@ -84,6 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "compact", "clear"))
     cache.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR")
 
+    bench = sub.add_parser(
+        "bench",
+        help="time trace build + simulate throughput on fixed grid points",
+    )
+    bench.add_argument("--workloads", nargs="+", metavar="NAME", default=None,
+                       help="grid-point workloads (default: the fixed bench set)")
+    bench.add_argument("--pct", type=int, default=4,
+                       help="PCT for the benchmarked points (default 4)")
+    bench.add_argument("--cores", type=int, default=64)
+    bench.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="repetitions per metric; best-of is reported")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="write the report as JSON to PATH")
+
     # Delegating verbs: argument parsing happens in the delegate (main()
     # forwards everything after the verb verbatim; argparse's REMAINDER
     # cannot, since it refuses leading optionals like ``figures --figure 11``).
@@ -170,9 +185,30 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.runner.bench import DEFAULT_POINTS, format_report, run_bench
+
+    if args.workloads:
+        points = tuple((name, args.pct) for name in args.workloads)
+    else:
+        points = DEFAULT_POINTS
+    report = run_bench(
+        points,
+        cores=args.cores,
+        scale=args.scale,
+        repeats=args.repeats,
+        json_path=args.json,
+    )
+    print(format_report(report))
+    if args.json:
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
 }
 
 

@@ -58,6 +58,13 @@ _TRACE_CACHE: dict[str, Trace] = {}
 _TRACE_CACHE_MAX = 32
 
 
+def _memoize_trace(trace_key: str, trace: Trace) -> None:
+    """Install ``trace`` in the per-process memo (bounded LRU)."""
+    while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+    _TRACE_CACHE[trace_key] = trace
+
+
 def build_trace(job: Job) -> Trace:
     """Regenerate ``job``'s trace deterministically (no process state).
 
@@ -69,9 +76,7 @@ def build_trace(job: Job) -> Trace:
     if cached is None:
         with rng.seed_scope(job.seed):
             cached = load_workload(job.workload, job.arch, scale=job.scale)
-        while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
-            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-        _TRACE_CACHE[job.trace_key] = cached
+        _memoize_trace(job.trace_key, cached)
     else:
         # Move to the back so hot traces survive eviction (dict = LRU order).
         _TRACE_CACHE.pop(job.trace_key)
@@ -87,9 +92,23 @@ def execute_job(job: Job) -> RunStats:
     return simulator.run(build_trace(job))
 
 
-def _worker_run(payload: dict) -> tuple[str, dict]:
-    """Pool entry point: serialized job in, (key, serialized stats) out."""
+def _worker_run(task: dict | tuple[dict, Trace | None]) -> tuple[str, dict]:
+    """Pool entry point: serialized (job, optional compiled trace) in,
+    (key, serialized stats) out.
+
+    The parent forwards the compiled columnar IR with each dispatched job -
+    pickled as raw ``array('q')`` buffers, a few contiguous blobs per trace
+    rather than a tuple graph - so workers never regenerate a trace the
+    parent already built.  A bare payload dict (no trace) is still accepted
+    for compatibility and triggers worker-side regeneration.
+    """
+    if isinstance(task, dict):  # legacy shape: regenerate in the worker
+        payload, trace = task, None
+    else:
+        payload, trace = task
     job = Job.from_dict(payload)
+    if trace is not None and job.trace_key not in _TRACE_CACHE:
+        _memoize_trace(job.trace_key, trace)
     return job.key, execute_job(job).to_dict()
 
 
@@ -187,12 +206,22 @@ class ParallelRunner:
         self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
     ) -> None:
         by_key = {job.key: job for job in pending}
-        payloads = [job.to_dict() for job in pending]
+
+        def tasks():
+            # Compile each unique trace once in the parent (memoized by
+            # trace_key) and ship the columnar IR with the job: pickling the
+            # IR is a handful of contiguous array-buffer copies, so workers
+            # receive a ready-to-run trace instead of regenerating it.
+            # Lazily evaluated as the pool consumes tasks, so trace builds
+            # overlap with worker execution.
+            for job in pending:
+                yield job.to_dict(), build_trace(job)
+
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
             self._pool = context.Pool(processes=self.workers)
         try:
-            for key, payload in self._pool.imap_unordered(_worker_run, payloads):
+            for key, payload in self._pool.imap_unordered(_worker_run, tasks()):
                 done = self._finish(by_key[key], payload, results, done, total, "parallel")
         except RunnerError:
             raise

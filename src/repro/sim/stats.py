@@ -22,7 +22,7 @@ from repro.common.types import MissType
 from repro.energy.model import EnergyBreakdown
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyBreakdown:
     """Per-component cycles (the Figure 9 stack)."""
 

@@ -15,6 +15,16 @@ preserving the *access pattern* (sharing degree, per-line reuse, working-set
 pressure, read/write mix) preserves everything the locality classifier
 reacts to.
 
+Traces use a **columnar IR**: each core's stream is three parallel
+``array('q')`` columns (opcode, address, work) instead of a Python list of
+``(op, address, work)`` tuples.  The columns are built once, validated in a
+single typed pass, and never mutated afterwards; the simulator walks them
+with per-core cursors, the binary trace format v2 maps them straight to
+disk, and the parallel runner ships them to workers as a handful of
+contiguous buffers (one ``memcpy``-style pickle per column) instead of a
+per-record tuple graph.  ``Trace.per_core`` remains available as a
+materialized tuple *view* for tooling and tests.
+
 Conventions:
 
 * every thread participates in every barrier, in the same order;
@@ -25,48 +35,193 @@ Conventions:
 
 from __future__ import annotations
 
+from array import array
+
 from repro.common import addr as addrmod
 from repro.common.errors import TraceError
 from repro.common.types import Op
 
-#: Trace records are plain tuples for speed: (op, address, work_before).
+#: Logical trace record, used by the text/v1 binary formats and the
+#: ``per_core`` compatibility view: (op, address, work_before).
 TraceRecord = tuple[int, int, int]
+
+#: One core's stream as parallel columns: (ops, addresses, works).
+TraceColumns = tuple[array, array, array]
+
+_OP_READ = int(Op.READ)
+_OP_WRITE = int(Op.WRITE)
+_OP_BARRIER = int(Op.BARRIER)
+_OP_LOCK = int(Op.LOCK)
+_OP_UNLOCK = int(Op.UNLOCK)
+_OP_WORK = int(Op.WORK)
 
 
 class Trace:
-    """An immutable multithreaded memory-access trace."""
+    """An immutable multithreaded memory-access trace (columnar IR).
+
+    ``ops[tid]``, ``addresses[tid]`` and ``works[tid]`` are parallel
+    ``array('q')`` columns holding core ``tid``'s stream.  They are packed
+    once at construction and must never be mutated: the scalar summaries
+    (``memory_accesses``, ``instructions``, ``footprint_lines``) are
+    computed in the same single validation pass and cached.
+    """
+
+    __slots__ = (
+        "name",
+        "num_cores",
+        "ops",
+        "addresses",
+        "works",
+        "_memory_accesses",
+        "_instructions",
+        "_footprint_lines",
+    )
 
     def __init__(self, name: str, num_cores: int, per_core: list[list[TraceRecord]]) -> None:
+        """Build the columnar IR from per-core record lists (legacy shape)."""
         if len(per_core) != num_cores:
             raise TraceError(
                 f"trace {name!r} has {len(per_core)} streams for {num_cores} cores"
             )
-        self.name = name
-        self.num_cores = num_cores
-        self.per_core = per_core
-        self._validate()
+        ops: list[array] = []
+        addresses: list[array] = []
+        works: list[array] = []
+        for tid, stream in enumerate(per_core):
+            o, a, w = array("q"), array("q"), array("q")
+            try:
+                for op, address, work in stream:
+                    o.append(op)
+                    a.append(address)
+                    w.append(work)
+            except OverflowError:
+                raise TraceError(
+                    f"thread {tid}: record value outside 64-bit range"
+                ) from None
+            except TypeError as exc:
+                raise TraceError(f"thread {tid}: non-integer record value ({exc})") from None
+            ops.append(o)
+            addresses.append(a)
+            works.append(w)
+        self._init_columns(name, num_cores, ops, addresses, works)
 
     # ------------------------------------------------------------------
-    def _validate(self) -> None:
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        num_cores: int,
+        ops: list[array],
+        addresses: list[array],
+        works: list[array],
+    ) -> "Trace":
+        """Adopt prebuilt columns without copying (still validated once)."""
+        if not (len(ops) == len(addresses) == len(works) == num_cores):
+            raise TraceError(
+                f"trace {name!r} has {len(ops)}/{len(addresses)}/{len(works)} "
+                f"columns for {num_cores} cores"
+            )
+        trace = object.__new__(cls)
+        trace._init_columns(name, num_cores, ops, addresses, works)
+        return trace
+
+    def _init_columns(
+        self,
+        name: str,
+        num_cores: int,
+        ops: list[array],
+        addresses: list[array],
+        works: list[array],
+    ) -> None:
+        self.name = name
+        self.num_cores = num_cores
+        self.ops = ops
+        self.addresses = addresses
+        self.works = works
+        self._validate_and_summarize()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rebuild(
+        name: str,
+        num_cores: int,
+        ops: list[array],
+        addresses: list[array],
+        works: list[array],
+        summary: tuple[int, int, int],
+    ) -> "Trace":
+        """Pickle fast path: adopt already-validated columns verbatim."""
+        trace = object.__new__(Trace)
+        trace.name = name
+        trace.num_cores = num_cores
+        trace.ops = ops
+        trace.addresses = addresses
+        trace.works = works
+        trace._memory_accesses, trace._instructions, trace._footprint_lines = summary
+        return trace
+
+    def __reduce__(self):
+        """Pickle as raw column buffers (``array`` serializes its machine
+        bytes), skipping re-validation on unpickle - this is what makes
+        shipping a trace to a worker a handful of contiguous buffers."""
+        return (
+            Trace._rebuild,
+            (
+                self.name,
+                self.num_cores,
+                self.ops,
+                self.addresses,
+                self.works,
+                (self._memory_accesses, self._instructions, self._footprint_lines),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_and_summarize(self) -> None:
+        """One typed pass: structural validation + cached scalar summaries."""
+        max_address = addrmod.MAX_ADDRESS
+        line_bits = addrmod.LINE_BITS
+        memory_accesses = 0
+        instructions = 0
+        lines: set[int] = set()
         barrier_seqs: list[tuple[int, ...]] = []
-        for tid, stream in enumerate(self.per_core):
+        for tid in range(self.num_cores):
+            ops = self.ops[tid]
+            addresses = self.addresses[tid]
+            works = self.works[tid]
+            if not (len(ops) == len(addresses) == len(works)):
+                raise TraceError(
+                    f"thread {tid}: ragged columns "
+                    f"({len(ops)}/{len(addresses)}/{len(works)} records)"
+                )
             barriers: list[int] = []
             lock_depth: dict[int, int] = {}
-            for op, address, work in stream:
+            for i in range(len(ops)):
+                op = ops[i]
+                address = addresses[i]
+                work = works[i]
                 if work < 0:
                     raise TraceError(f"thread {tid}: negative work {work}")
-                if address < 0 or address > addrmod.MAX_ADDRESS:
+                if address < 0 or address > max_address:
                     raise TraceError(f"thread {tid}: address {address:#x} out of range")
-                if op == Op.BARRIER:
+                if op == _OP_READ or op == _OP_WRITE:
+                    memory_accesses += 1
+                    instructions += work + 1
+                    lines.add(address >> line_bits)
+                elif op == _OP_BARRIER:
                     barriers.append(address)
-                elif op == Op.LOCK:
+                    instructions += work + 1
+                elif op == _OP_LOCK:
                     lock_depth[address] = lock_depth.get(address, 0) + 1
-                elif op == Op.UNLOCK:
+                    instructions += work + 1
+                elif op == _OP_UNLOCK:
                     depth = lock_depth.get(address, 0) - 1
                     if depth < 0:
                         raise TraceError(f"thread {tid}: unlock of free lock {address}")
                     lock_depth[address] = depth
-                elif op not in (Op.READ, Op.WRITE, Op.WORK):
+                    instructions += work + 1
+                elif op == _OP_WORK:
+                    instructions += work
+                else:
                     raise TraceError(f"thread {tid}: unknown opcode {op}")
             if any(depth != 0 for depth in lock_depth.values()):
                 raise TraceError(f"thread {tid}: unbalanced lock/unlock")
@@ -76,36 +231,42 @@ class Trace:
                 f"trace {self.name!r}: threads disagree on barrier sequence "
                 f"(every thread must hit every barrier, in order)"
             )
+        self._memory_accesses = memory_accesses
+        self._instructions = instructions
+        self._footprint_lines = len(lines)
 
     # ------------------------------------------------------------------
     @property
+    def per_core(self) -> list[list[TraceRecord]]:
+        """Materialized tuple view of the columns (compatibility/tooling).
+
+        Returns fresh lists on every call; mutating them never affects the
+        trace.  Hot paths must walk the columns directly.
+        """
+        return [
+            list(zip(self.ops[tid], self.addresses[tid], self.works[tid]))
+            for tid in range(self.num_cores)
+        ]
+
+    def stream_length(self, tid: int) -> int:
+        return len(self.ops[tid])
+
+    @property
     def total_records(self) -> int:
-        return sum(len(stream) for stream in self.per_core)
+        return sum(len(ops) for ops in self.ops)
 
     @property
     def memory_accesses(self) -> int:
-        return sum(
-            1 for stream in self.per_core for op, _, _ in stream if op in (Op.READ, Op.WRITE)
-        )
+        return self._memory_accesses
 
     @property
     def instructions(self) -> int:
         """Total dynamic instructions: one per record plus its work cycles."""
-        return sum(
-            work + (1 if op != Op.WORK else 0)
-            for stream in self.per_core
-            for op, _, work in stream
-        )
+        return self._instructions
 
     def footprint_lines(self) -> int:
         """Number of distinct cache lines touched (working-set proxy)."""
-        lines = {
-            address >> addrmod.LINE_BITS
-            for stream in self.per_core
-            for op, address, _ in stream
-            if op in (Op.READ, Op.WRITE)
-        }
-        return len(lines)
+        return self._footprint_lines
 
 
 class AddressSpace:
@@ -139,16 +300,28 @@ class AddressSpace:
 
 
 class ThreadProgram:
-    """Per-thread trace recorder handed to workload kernels."""
+    """Per-thread trace recorder handed to workload kernels.
 
-    __slots__ = ("tid", "_records", "_pending_work")
+    The kernel-facing API (``work``/``read``/``write``/``read_words``/
+    ``write_words``/``lock``/``unlock``) is unchanged from the tuple era;
+    records now append straight into the three column arrays.
+    """
+
+    __slots__ = ("tid", "_ops", "_addresses", "_works", "_pending_work")
 
     def __init__(self, tid: int) -> None:
         self.tid = tid
-        self._records: list[TraceRecord] = []
+        self._ops = array("q")
+        self._addresses = array("q")
+        self._works = array("q")
         self._pending_work = 0
 
     # ------------------------------------------------------------------
+    def _append(self, op: int, address: int, work: int) -> None:
+        self._ops.append(op)
+        self._addresses.append(address)
+        self._works.append(work)
+
     def work(self, cycles: int) -> None:
         """Execute ``cycles`` of pure compute before the next reference."""
         if cycles < 0:
@@ -156,49 +329,53 @@ class ThreadProgram:
         self._pending_work += cycles
 
     def read(self, address: int) -> None:
-        self._records.append((Op.READ, address, self._pending_work))
+        self._append(_OP_READ, address, self._pending_work)
         self._pending_work = 0
 
     def write(self, address: int) -> None:
-        self._records.append((Op.WRITE, address, self._pending_work))
+        self._append(_OP_WRITE, address, self._pending_work)
         self._pending_work = 0
 
     def read_words(self, base: int, count: int, stride_words: int = 1) -> None:
         """Read ``count`` words starting at ``base`` (stride in words)."""
         step = stride_words * addrmod.WORD_SIZE
         address = base
-        append = self._records.append
+        ops, addresses, works = self._ops, self._addresses, self._works
         for _ in range(count):
-            append((Op.READ, address, self._pending_work))
+            ops.append(_OP_READ)
+            addresses.append(address)
+            works.append(self._pending_work)
             self._pending_work = 0
             address += step
 
     def write_words(self, base: int, count: int, stride_words: int = 1) -> None:
         step = stride_words * addrmod.WORD_SIZE
         address = base
-        append = self._records.append
+        ops, addresses, works = self._ops, self._addresses, self._works
         for _ in range(count):
-            append((Op.WRITE, address, self._pending_work))
+            ops.append(_OP_WRITE)
+            addresses.append(address)
+            works.append(self._pending_work)
             self._pending_work = 0
             address += step
 
     def lock(self, lock_id: int) -> None:
-        self._records.append((Op.LOCK, lock_id, self._pending_work))
+        self._append(_OP_LOCK, lock_id, self._pending_work)
         self._pending_work = 0
 
     def unlock(self, lock_id: int) -> None:
-        self._records.append((Op.UNLOCK, lock_id, self._pending_work))
+        self._append(_OP_UNLOCK, lock_id, self._pending_work)
         self._pending_work = 0
 
     def _barrier(self, barrier_id: int) -> None:
-        self._records.append((Op.BARRIER, barrier_id, self._pending_work))
+        self._append(_OP_BARRIER, barrier_id, self._pending_work)
         self._pending_work = 0
 
-    def _finish(self) -> list[TraceRecord]:
+    def _finish(self) -> TraceColumns:
         if self._pending_work:
-            self._records.append((Op.WORK, 0, self._pending_work))
+            self._append(_OP_WORK, 0, self._pending_work)
             self._pending_work = 0
-        return self._records
+        return self._ops, self._addresses, self._works
 
 
 class TraceBuilder:
@@ -224,5 +401,11 @@ class TraceBuilder:
             program._barrier(barrier_id)
 
     def build(self) -> Trace:
-        per_core = [program._finish() for program in self.threads]
-        return Trace(self.name, self.num_cores, per_core)
+        columns = [program._finish() for program in self.threads]
+        return Trace.from_columns(
+            self.name,
+            self.num_cores,
+            [c[0] for c in columns],
+            [c[1] for c in columns],
+            [c[2] for c in columns],
+        )

@@ -163,6 +163,165 @@ def _seed_set() -> list[int]:
     return [0, 1, 2, 3]
 
 
+# ======================================================================
+# Trace-level differential: full Simulator runs, locks/barriers included.
+# ======================================================================
+#
+# The engine-level harness above drives a fixed access order, so golden
+# images must agree across protocols trivially.  Full simulations schedule
+# cores by their (protocol-dependent!) clocks, so cross-family equivalence
+# holds only for values that synchronization pins down.  Write tokens are
+# derived per core (``count * stride + core``), which makes a write's
+# *value* independent of how other cores interleaved; the final image of a
+# word is then family-invariant whenever its last writer is - i.e. for any
+# word written by a single thread per phase (barriers order phases; locked
+# regions here write disjoint per-core slots, so lock-acquisition order
+# does not matter).  ``build_sync_stress`` is exactly that kind of trace.
+
+
+def build_sync_stress(num_cores: int = NUM_CORES, rounds: int = 3):
+    """Barrier-phased, lock-protected, single-writer-per-word trace.
+
+    Per round: each thread writes its own slice of a shared array (read by
+    everyone next phase), updates its own slot of a lock-protected shared
+    structure, reads a neighbour's slice (sharing misses / invalidation or
+    self-invalidation churn) and re-reads its private scratch (capacity
+    pressure).  Every conflicting write pair is barrier-ordered, so the
+    final memory image is schedule-independent.
+    """
+    from repro.workloads.base import TraceBuilder
+
+    builder = TraceBuilder("sync-stress", num_cores)
+    shared = builder.address_space.alloc("shared", num_cores * LINE)
+    slots = builder.address_space.alloc("slots", num_cores * LINE)
+    scratch = [
+        builder.address_space.alloc(f"scratch{tid}", 4 * LINE) for tid in range(num_cores)
+    ]
+    lock_id = 1
+    for _round in range(rounds):
+        for tid in range(num_cores):
+            thread = builder.thread(tid)
+            # Own slice of the shared array: single writer per word.
+            for word in range(LINE // WORD):
+                thread.work(1)
+                thread.write(shared + tid * LINE + word * WORD)
+            # Lock-protected update of the thread's OWN slot: acquisition
+            # order varies per protocol, final values do not.
+            thread.lock(lock_id)
+            thread.write(slots + tid * LINE)
+            thread.read(slots + ((tid + 1) % num_cores) * LINE)
+            thread.unlock(lock_id)
+        builder.barrier_all()
+        for tid in range(num_cores):
+            thread = builder.thread(tid)
+            # Neighbour's slice: cross-core sharing after the barrier.
+            neighbour = (tid + 1) % num_cores
+            for word in range(LINE // WORD):
+                thread.work(1)
+                thread.read(shared + neighbour * LINE + word * WORD)
+            for i in range(4):
+                thread.work(2)
+                thread.write(scratch[tid] + i * LINE)
+                thread.read(scratch[tid] + i * LINE)
+        builder.barrier_all()
+    return builder.build()
+
+
+def run_trace_differential(trace=None) -> dict[str, object]:
+    """Full-simulator differential: verify-mode runs of all five families.
+
+    Returns the per-family ``Simulator.last_engine``; raises
+    ``AssertionError`` on any coherence violation, lost write, or
+    cross-family golden/observable-memory divergence.
+    """
+    from repro.sim.multicore import Simulator
+
+    if trace is None:
+        trace = build_sync_stress()
+    engines = {}
+    for name, proto in ENGINES.items():
+        sim = Simulator(tiny_arch(), proto, verify=True, warmup=False)
+        try:
+            sim.run(trace)
+        except CoherenceError as exc:
+            raise AssertionError(
+                f"protocol {name!r} violated coherence on trace "
+                f"{trace.name!r}: {exc}"
+            ) from exc
+        engines[name] = sim.last_engine
+
+    reference = engines["baseline"]
+    ref_lines = sorted(reference.golden.lines())
+    for name, engine in engines.items():
+        lines = sorted(engine.golden.lines())
+        assert lines == ref_lines, (
+            f"protocol {name!r} wrote different lines than baseline on "
+            f"{trace.name!r}: {set(lines) ^ set(ref_lines)}"
+        )
+        for line in ref_lines:
+            expected = reference.golden.line_snapshot(line)
+            got = engine.golden.line_snapshot(line)
+            assert got == expected, (
+                f"golden-image divergence at line {line:#x} between "
+                f"baseline and {name!r} on {trace.name!r}: {expected} vs {got}"
+            )
+            observable = engine.final_line_value(line)
+            assert observable == expected, (
+                f"final-memory divergence at line {line:#x} for {name!r} "
+                f"on {trace.name!r}: observable {observable}, expected {expected}"
+            )
+    return engines
+
+
+class TestTraceLevelDifferential:
+    def test_five_families_agree_on_sync_stress_trace(self):
+        """Locks + barriers included: full runs, identical final memory."""
+        engines = run_trace_differential()
+        assert set(engines) == set(ENGINES)
+
+    def test_sync_stress_exercises_synchronization(self):
+        trace = build_sync_stress()
+        ops = [op for tid in range(trace.num_cores) for op in trace.ops[tid]]
+        from repro.common.types import Op
+
+        assert ops.count(int(Op.LOCK)) == NUM_CORES * 3
+        assert ops.count(int(Op.BARRIER)) == NUM_CORES * 6
+
+    def test_workload_traces_verify_across_families(self):
+        """Registry workloads (locks/barriers included) under full verify.
+
+        Per-family golden verification plus ``check_final_state`` runs
+        inside ``Simulator.run``; across families the *set of written
+        lines* is trace-determined and must agree exactly (word-level
+        values may differ when workload kernels race by design).
+        """
+        from repro.common.params import ArchConfig, CacheGeometry
+        from repro.sim.multicore import Simulator
+        from repro.workloads.registry import load_workload
+
+        arch = ArchConfig(
+            num_cores=NUM_CORES,
+            num_memory_controllers=2,
+            l1d=CacheGeometry(1, 2, 1),
+            l2=CacheGeometry(2, 2, 7),
+        )
+        trace = load_workload("tsp", arch, scale="tiny")
+        written = None
+        for name, proto in ENGINES.items():
+            sim = Simulator(arch, proto, verify=True, warmup=False)
+            try:
+                sim.run(trace)
+            except CoherenceError as exc:
+                raise AssertionError(f"{name!r} failed verification on tsp: {exc}") from exc
+            lines = frozenset(sim.last_engine.golden.lines())
+            if written is None:
+                written = lines
+            else:
+                assert lines == written, (
+                    f"{name!r} wrote a different line set than baseline on tsp"
+                )
+
+
 @pytest.mark.parametrize("seed", _seed_set())
 def test_five_protocols_agree_on_random_traces(seed):
     """No CoherenceError, no lost write, no cross-protocol divergence."""

@@ -3,6 +3,8 @@ documented error types, not corrupt results silently."""
 
 from __future__ import annotations
 
+from array import array
+
 import pytest
 
 from repro.common.errors import CoherenceError, ConfigError, SimulationError, TraceError
@@ -12,6 +14,18 @@ from repro.protocol.engine import ProtocolEngine
 from repro.sim.multicore import Simulator
 from repro.workloads.base import Trace, TraceBuilder
 from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+
+
+def raw_trace(name: str, num_cores: int, streams) -> Trace:
+    """Build a columnar trace *without* validation (failure injection only)."""
+    return Trace._rebuild(
+        name,
+        num_cores,
+        [array("q", [r[0] for r in s]) for s in streams],
+        [array("q", [r[1] for r in s]) for s in streams],
+        [array("q", [r[2] for r in s]) for s in streams],
+        (0, 0, 0),
+    )
 
 
 class TestConfigValidation:
@@ -96,10 +110,7 @@ class TestTraceValidation:
     def test_runtime_unlock_of_unheld_lock_raises(self):
         # Build-time validation rejects unlock-before-lock, so the runtime
         # guard is defensive; bypass validation to prove it still fires.
-        bad = Trace.__new__(Trace)
-        bad.name = "bad"
-        bad.num_cores = 16
-        bad.per_core = [[(int(Op.UNLOCK), 1, 0)]] + [[] for _ in range(15)]
+        bad = raw_trace("bad", 16, [[(int(Op.UNLOCK), 1, 0)]] + [[] for _ in range(15)])
         sim = Simulator(small_arch(), baseline_protocol())
         with pytest.raises(SimulationError, match="does not hold"):
             sim.run(bad)
@@ -109,17 +120,14 @@ class TestDeadlockDetection:
     def test_unreleased_lock_blocks_and_is_reported(self):
         # Both threads end their streams fighting over lock 1 (thread 0
         # never releases): the simulator must report the deadlock instead
-        # of silently dropping the parked thread.  Built via __new__ because
+        # of silently dropping the parked thread.  Built unvalidated because
         # Trace validation (correctly) rejects unbalanced locks up front.
         region = 1 << 30
         streams = [
             [(int(Op.LOCK), 1, 0), (int(Op.READ), region, 0)],
             [(int(Op.LOCK), 1, 0), (int(Op.READ), region, 0)],
         ] + [[] for _ in range(14)]
-        bad = Trace.__new__(Trace)
-        bad.name = "deadlock"
-        bad.num_cores = 16
-        bad.per_core = streams
+        bad = raw_trace("deadlock", 16, streams)
         sim = Simulator(small_arch(), baseline_protocol())
         with pytest.raises(SimulationError, match="deadlock"):
             sim.run(bad)

@@ -6,7 +6,7 @@ from repro.common.params import dls_protocol
 from repro.common.types import MESIState, MissType
 from repro.coherence.directory import NullSharerPolicy
 from repro.protocol.dls import DLSEngine
-from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+from tests.protocol.test_engine import BASE, LINE, WORD, share_page, small_arch
 
 
 def make_dls_engine(verify: bool = True) -> DLSEngine:
@@ -59,7 +59,7 @@ class TestDirectoryless:
         """A write-read-write ping-pong costs exactly request + reply each."""
         engine = make_dls_engine()
         share_page(engine)  # pin R-NUCA's page classification first
-        home = engine.placement.shared_home(BASE // LINE)
+        home = engine.placement.shared_word_home(BASE // LINE, 0)
         a, b = [c for c in range(12) if c != home][:2]  # off-home actors
         engine.access(a, True, BASE, 100.0)  # cold fill happens here
         before = engine.network.messages_sent
@@ -70,6 +70,71 @@ class TestDirectoryless:
 
     def test_config_normalizes_directory_to_none(self):
         assert dls_protocol().directory == "none"
+
+
+class TestWordInterleaving:
+    """Pin the DLS LLC interleaving function (ROADMAP fidelity fix)."""
+
+    def test_interleaving_function_is_round_robin_over_words(self):
+        engine = make_dls_engine()
+        placement = engine.placement
+        num_cores = engine.arch.num_cores
+        wpl = engine.arch.words_per_line
+        for line in (0, 1, 17, BASE // LINE, BASE // LINE + 3):
+            for word in range(wpl):
+                assert placement.shared_word_home(line, word) == (
+                    (line * wpl + word) % num_cores
+                )
+
+    def test_consecutive_words_stripe_across_consecutive_slices(self):
+        engine = make_dls_engine()
+        line = BASE // LINE
+        homes = [engine.placement.shared_word_home(line, w) for w in range(8)]
+        first = homes[0]
+        assert homes == [(first + i) % engine.arch.num_cores for i in range(8)]
+        # The next line continues the stripe where this one left off.
+        assert engine.placement.shared_word_home(line + 1, 0) == (
+            (first + 8) % engine.arch.num_cores
+        )
+
+    def test_shared_accesses_route_to_per_word_homes(self):
+        """Two words of one shared line are serviced at different slices."""
+        engine = make_dls_engine()
+        share_page(engine)
+        line = BASE // LINE
+        h0 = engine.placement.shared_word_home(line, 0)
+        h3 = engine.placement.shared_word_home(line, 3)
+        assert h0 != h3
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE + 3 * WORD, 200.0)
+        assert engine.l2[h0].word_writes == 1
+        assert engine.l2[h3].word_writes == 1
+        # Each word home keeps its own copy of the line.
+        assert engine.l2[h0].lookup(line) is not None
+        assert engine.l2[h3].lookup(line) is not None
+
+    def test_private_pages_stay_at_owner_for_every_word(self):
+        engine = make_dls_engine()
+        for word in range(8):
+            engine.access(5, True, BASE + word * WORD, 100.0 * word)
+        assert engine.l2[5].word_writes == 8
+        assert sum(s.word_writes for s in engine.l2) == 8
+
+    def test_word_masked_writeback_preserves_golden_memory(self):
+        """Evicting one word home must not clobber words homed elsewhere."""
+        engine = make_dls_engine(verify=True)
+        share_page(engine)
+        line = BASE // LINE
+        engine.access(0, True, BASE, 100.0)  # word 0 at its home
+        engine.access(1, True, BASE + 3 * WORD, 200.0)  # word 3 elsewhere
+        h0 = engine.placement.shared_word_home(line, 0)
+        ventry = engine.l2[h0].lookup(line)
+        assert ventry is not None and ventry.dirty
+        # Force the word-0 home to evict its copy; word 3's value must
+        # survive in the assembled final image.
+        engine._evict_l2_line(h0, line, ventry, 1000.0)
+        engine.l2[h0].remove(line)
+        engine.check_final_state()
 
 
 class TestVerifiedData:

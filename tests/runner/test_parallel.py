@@ -182,3 +182,64 @@ class TestVerifyTwinDedup:
         # ...and the execution was the verified one: the entry satisfies a
         # later verified lookup without re-simulation.
         assert ResultStore(tmp_path).get(checked) is not None
+
+
+class TestZeroCopyTraceDistribution:
+    """The parent ships the compiled columnar IR with each dispatched job."""
+
+    def test_worker_adopts_shipped_trace(self, serial_results):
+        from repro.runner import parallel as parallel_mod
+
+        job = _jobs()[0]
+        trace = build_trace(job)
+        parallel_mod._TRACE_CACHE.clear()
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(1, initializer=_pollute_worker_state) as pool:
+            key, payload = pool.apply(_worker_run, ((job.to_dict(), trace),))
+        assert key == job.key
+        assert json.dumps(payload, sort_keys=True) == _dumps(serial_results[0])
+
+    def test_shipped_trace_pickles_as_buffers_not_tuples(self):
+        import pickle
+
+        job = _jobs()[0]
+        trace = build_trace(job)
+        blob = pickle.dumps((job.to_dict(), trace))
+        # The payload must be within a small factor of the raw column bytes
+        # (24 B/record) - a tuple-of-records pickle is several times larger.
+        raw = 24 * trace.total_records
+        assert len(blob) < raw * 1.2 + 4096
+
+    def test_parallel_results_identical_with_trace_shipping(self, tmp_path, serial_results):
+        jobs = _jobs()
+        runner = ParallelRunner(store=ResultStore(tmp_path), workers=2)
+        try:
+            results = runner.run(jobs)
+        finally:
+            runner.close()
+        for a, b in zip(serial_results, results):
+            assert _dumps(a) == _dumps(b)
+
+
+class TestBenchVerb:
+    def test_bench_point_reports_throughput(self):
+        from repro.runner.bench import bench_point
+
+        row = bench_point("tsp", pct=4, cores=16, scale="tiny", repeats=1)
+        assert row["records"] > 0
+        assert row["build_records_per_second"] > 0
+        assert row["simulate_records_per_second"] > 0
+
+    def test_bench_cli_writes_json(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--workloads", "tsp", "--pct", "4", "--cores", "16",
+            "--scale", "tiny", "--repeats", "1", "--json", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["points"][0]["workload"] == "tsp"
+        assert report["points"][0]["simulate_records_per_second"] > 0
+        assert "simulate rec/s" in capsys.readouterr().out

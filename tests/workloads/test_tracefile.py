@@ -145,13 +145,18 @@ class TestBinaryRoundTrip:
         save_trace_binary(trace, path)
         assert trace_equal(trace, load_trace_binary(path))
 
-    def test_binary_smaller_than_text_for_real_workload(self, tmp_path):
+    def test_v2_layout_is_fixed_width_columns(self, tmp_path):
+        """Pin the v2 layout: header + name + per-stream (count + 3 columns).
+
+        v2 trades the v1 format's 13-byte packed records for fixed 8-byte
+        column cells (24 B/record) so the loader can bulk-copy the blocks
+        straight into the IR without any per-record parsing.
+        """
         trace = load_workload("tsp", bench_arch(), scale="tiny")
-        tpath = tmp_path / "t.trace"
         bpath = tmp_path / "t.traceb"
-        save_trace_text(trace, tpath)
         save_trace_binary(trace, bpath)
-        assert bpath.stat().st_size < tpath.stat().st_size
+        expected = 10 + len(trace.name) + trace.num_cores * 8 + 24 * trace.total_records
+        assert bpath.stat().st_size == expected
 
     def test_bad_magic_rejected(self, tmp_path):
         path = tmp_path / "bad.traceb"
@@ -215,13 +220,21 @@ class TestTraceSummaryAndEquality:
 
     def test_equality_detects_record_change(self):
         a, b = small_trace(), small_trace()
-        b.per_core[0][0] = (int(Op.WRITE), 0x9999, 0)
+        b.addresses[0][0] = 0x9999  # columns are the trace's actual storage
         assert not trace_equal(a, b)
 
     def test_equality_detects_length_change(self):
         a, b = small_trace(), small_trace()
-        b.per_core[1].pop()
+        b.ops[1].pop(), b.addresses[1].pop(), b.works[1].pop()
         assert not trace_equal(a, b)
+
+    def test_per_core_view_is_a_copy(self):
+        """Mutating the compatibility view must not corrupt the IR."""
+        a = small_trace()
+        view = a.per_core
+        view[0][0] = (int(Op.WRITE), 0x9999, 0)
+        assert a.per_core[0][0] != (int(Op.WRITE), 0x9999, 0)
+        assert trace_equal(a, small_trace())
 
 
 class TestGeneratedWorkloadRoundTrip:
