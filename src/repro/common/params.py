@@ -284,6 +284,14 @@ class ProtocolConfig:
     #: (forced for - and only valid with - the directoryless families).
     directory: str = "ackwise"
 
+    #: Neat self-downgrade policy: "eager" writes every store through to the
+    #: home immediately (the conservative endpoint modeled since PR 2);
+    #: "release" buffers dirty words in the writer's L1 and flushes them in
+    #: one batched line message per release boundary (unlock/barrier), the
+    #: published Neat behaviour.  Inert - and normalized to "eager" - for
+    #: every other protocol family.
+    neat_downgrade: str = "eager"
+
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
             raise ConfigError(f"unknown protocol {self.protocol!r}")
@@ -307,6 +315,12 @@ class ProtocolConfig:
             raise ConfigError(
                 f"protocol {self.protocol!r} requires a sharer-tracking directory"
             )
+        if self.neat_downgrade not in ("eager", "release"):
+            raise ConfigError(f"unknown neat_downgrade {self.neat_downgrade!r}")
+        if self.protocol != "neat" and self.neat_downgrade != "eager":
+            # Inert knob for every non-Neat family: normalize so equivalent
+            # configs share one job content hash.
+            object.__setattr__(self, "neat_downgrade", "eager")
         if self.protocol in DIRECTORYLESS_PROTOCOLS:
             # Validated above, now normalized: the PCT/classifier knobs (and
             # the absent directory) are inert for directoryless families, so
@@ -355,7 +369,14 @@ class ProtocolConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProtocolConfig":
-        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+        """Rebuild from a mapping; fields the mapping predates (older
+        serialized configs, e.g. pre-``neat_downgrade`` test fixtures) keep
+        their defaults."""
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name in data:
+                kwargs[f.name] = data[f.name]
+        return cls(**kwargs)
 
 
 #: Baseline configuration used as the normalization anchor in every figure.
@@ -378,13 +399,16 @@ def dls_protocol() -> ProtocolConfig:
     return ProtocolConfig(protocol="dls", pct=1, directory="none")
 
 
-def neat_protocol() -> ProtocolConfig:
+def neat_protocol(downgrade: str = "eager") -> ProtocolConfig:
     """Neat comparison baseline (PAPERS.md): self-invalidation/self-downgrade
     coherence without sharer tracking.
 
-    Stores write through to the home (eager self-downgrade); clean read
-    copies self-invalidate when the line is written by another core."""
-    return ProtocolConfig(protocol="neat", pct=1, directory="none")
+    ``downgrade="eager"`` writes every store through to the home;
+    ``downgrade="release"`` buffers dirty words and self-downgrades them in
+    one batched message per line at release boundaries (unlock/barrier).
+    Clean read copies self-invalidate when the line is written (flushed, in
+    release mode) by another core."""
+    return ProtocolConfig(protocol="neat", pct=1, directory="none", neat_downgrade=downgrade)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,24 @@ the future (the simulator schedules some events, e.g. DRAM replies, ahead of
 time), so transient bursts don't cascade into phantom chip-wide congestion
 while sustained saturation still queues realistically.
 
+Storage is a **windowed ring buffer** (DESIGN.md section 8): one contiguous
+``WINDOW_EPOCHS x num_links`` slot table indexed ``(epoch % WINDOW) *
+num_links + link`` over *dense* link ids.  Each slot packs the epoch it
+currently represents and that epoch's occupancy into a single small int
+(``epoch * 64 + flits``), so the hottest loop in the simulator does one
+list index, one subtraction and one compare per link instead of a dict
+probe per link.  A traversal in a newer epoch recycles its slot lazily; the
+retired occupancy is flushed into an overflow dict, and epochs a slot does
+not currently represent (far-future DRAM reservations, long-retired epochs)
+are read and written there.  The combination (slots + overflow) always
+encodes exactly the same epoch -> occupancy map as the flat-dict model it
+replaces - same reservations, same departure times, bit-identical runs.
+
+Routes are pre-resolved to tuples of dense link ids (``resolve_path``) and
+a whole multi-hop reservation happens in one call (``traverse_path``),
+which the protocol engines invoke directly for their request -> home ->
+reply chains; ``unicast``/``broadcast`` are thin wrappers.
+
 The mesh also counts router and link flit traversals, which the energy model
 converts into dynamic energy (DSENT-like, Section 4.2).
 """
@@ -30,10 +48,53 @@ from repro.network.topology import Mesh2D
 EPOCH_CYCLES = 32
 EPOCH_SHIFT = 5
 assert EPOCH_CYCLES == 1 << EPOCH_SHIFT
+_EPOCH_MASK = EPOCH_CYCLES - 1
+
+#: Ring-buffer window width in epochs (power of two).  128 epochs x 32
+#: cycles = 4096 cycles of in-window coverage per ring position; epochs a
+#: slot does not currently represent spill to the overflow dict (exact,
+#: just slower).
+WINDOW_EPOCHS = 128
+_WINDOW_MASK = WINDOW_EPOCHS - 1
+assert WINDOW_EPOCHS & _WINDOW_MASK == 0
+
+#: Slot packing: ``value = epoch * _SLOT_STRIDE + occupancy``.  Occupancy
+#: never exceeds EPOCH_CYCLES (32), so 6 bits suffice.
+_SLOT_SHIFT = 6
+_SLOT_STRIDE = 1 << _SLOT_SHIFT
+_SLOT_OCC_MASK = _SLOT_STRIDE - 1
+assert EPOCH_CYCLES < _SLOT_STRIDE
 
 
 class MeshNetwork:
-    """Timing + traffic model for the electrical 2-D mesh."""
+    """Timing + traffic model for the electrical 2-D mesh.
+
+    Slotted: the traffic counters and ring-buffer structures are read on
+    every message of the simulation, and slot loads beat instance-dict
+    lookups on the hot path.
+    """
+
+    __slots__ = (
+        "arch",
+        "topology",
+        "model_contention",
+        "naive_contention",
+        "_mode",
+        "_num_tiles",
+        "num_links",
+        "_dense_link",
+        "_link_bits",
+        "_slots",
+        "_overflow",
+        "_link_free_at",
+        "_routes",
+        "_bcast_edges",
+        "_flits_table",
+        "_hop_latency",
+        "link_flit_traversals",
+        "messages_sent",
+        "flits_sent",
+    )
 
     def __init__(self, arch: ArchConfig, model_contention: bool | None = None) -> None:
         self.arch = arch
@@ -45,23 +106,55 @@ class MeshNetwork:
         else:
             self.model_contention = model_contention
         self.naive_contention = arch.link_model == "naive"
-        #: Epoch occupancy in ONE flat dict keyed ``(epoch << link_bits) |
-        #: link``: a single hash probe per link on the hottest loop in the
-        #: mesh, instead of a per-link container plus an inner dict.
-        self._link_bits = (self.topology.num_tiles * self.topology.num_tiles - 1).bit_length()
-        self._epoch_use: dict[int, int] = {}
+        #: The two public flags above, packed for a single hot-path load:
+        #: 0 = epoch accounting (the default), 1 = naive, 2 = no contention.
+        if not self.model_contention:
+            self._mode = 2
+        elif self.naive_contention:
+            self._mode = 1
+        else:
+            self._mode = 0
+        num_tiles = self.topology.num_tiles
+        self._num_tiles = num_tiles
+        #: Dense link numbering: position in ``topology.directed_links()``.
+        #: ``_dense_link`` maps the sparse ``src * num_tiles + dst`` encoding
+        #: to the dense id (-1 for non-links).
+        links = self.topology.directed_links()
+        self.num_links = len(links)
+        self._dense_link = [-1] * (num_tiles * num_tiles)
+        for dense, (src, dst) in enumerate(links):
+            self._dense_link[src * num_tiles + dst] = dense
+        self._link_bits = (self.num_links - 1).bit_length()
+        #: Ring-buffer slot table: position ``(epoch % WINDOW) * num_links
+        #: + link`` holds ``epoch * 64 + occupancy`` for the epoch that
+        #: currently owns the slot.  A plain list, not an ``array``: slot
+        #: values are ints either way, and list indexing skips the
+        #: box/unbox step of ``array('q')`` on the hot path.
+        self._slots: list[int] = [0] * (WINDOW_EPOCHS * self.num_links)
+        #: Exact spill storage for epochs a slot does not currently
+        #: represent, keyed ``(epoch << link_bits) | link``: far-future
+        #: reservations (e.g. DRAM replies scheduled ahead) and retired
+        #: occupancy flushed on slot recycling.  Invariant: an entry for
+        #: (epoch, link) exists only while the owning slot's epoch is newer
+        #: than ``epoch``, so the slot table and the overflow dict always
+        #: partition the epoch -> occupancy map exactly.  Memory matches
+        #: the PR-3 flat dict (which kept every epoch forever); dict *ops*
+        #: drop from one probe per link-hop to one insert per recycling.
+        self._overflow: dict[int, int] = {}
         self._link_free_at: dict[int, float] = {}
-        #: Flat (src * num_tiles + dst) -> XY route memo, filled on demand
-        #: from the topology's route cache.
-        self._routes: list[tuple[int, ...] | None] = [None] * (
-            self.topology.num_tiles * self.topology.num_tiles
-        )
+        #: Flat (src * num_tiles + dst) -> dense-link-id route memo, filled
+        #: on demand from the topology's route cache.  Public contract: the
+        #: protocol engines index this list directly (via ``paths``) and
+        #: call :meth:`resolve_path` on a miss, skipping a method call per
+        #: message on their hottest chains.
+        self._routes: list[tuple | None] = [None] * (num_tiles * num_tiles)
+        #: Per-root broadcast tree with pre-resolved dense link ids.
+        self._bcast_edges: dict[int, tuple[tuple[int, int, int], ...]] = {}
         #: Flit count per message type, precomputed once (``message_flits``
         #: depends only on the type and the arch constants) - the unicast
         #: path is the hottest call chain in the simulator.
         self._flits_table = [message_flits(msg, arch) for msg in MsgType]
         self._hop_latency = arch.hop_latency
-        self._num_tiles = self.topology.num_tiles
         # Traffic counters (inputs to the energy model).  Router traversals
         # are derived: every flit that crosses H links visits H + 1 routers,
         # so router = link + flits summed over messages (holds for the
@@ -77,15 +170,73 @@ class MeshNetwork:
         other counters by construction, including across ``reset_stats``."""
         return self.link_flit_traversals + self.flits_sent
 
+    @property
+    def paths(self) -> list[tuple | None]:
+        """The flat route memo of reserved-path descriptors (see
+        :meth:`resolve_path`); entries may be ``None`` until resolved."""
+        return self._routes
+
     def reset_contention(self) -> None:
         """Forget all link reservations (used between independent runs)."""
-        self._epoch_use.clear()
+        self._slots = [0] * (WINDOW_EPOCHS * self.num_links)
+        self._overflow.clear()
         self._link_free_at.clear()
 
     def flits_for(self, msg: MsgType) -> int:
         return self._flits_table[msg]
 
+    def resolve_path(self, src: int, dst: int) -> tuple:
+        """Pre-resolve the XY route src->dst to a reserved-path descriptor.
+
+        The descriptor is ``(links, hops, span, phase_limit)``: the dense
+        link ids of the route, their count, the total hop latency
+        ``hops * hop_latency``, and the largest arrival-epoch phase for
+        which every head of the message stays inside the arrival epoch -
+        everything :meth:`traverse_path` would otherwise recompute per
+        message, folded into the route memo once.  Treat it as opaque:
+        resolve once, hand to ``traverse_path``.  Memoized in :attr:`paths`
+        at index ``src * num_tiles + dst``; ``src == dst`` yields the empty
+        route (a same-tile "message" never enters the network).
+        """
+        key = src * self._num_tiles + dst
+        path = self._routes[key]
+        if path is None:
+            dense = self._dense_link
+            links = tuple(dense[link] for link in self.topology.route(src, dst))
+            hops = len(links)
+            hop = self._hop_latency
+            path = (links, hops, hops * hop, EPOCH_CYCLES - 1 - (hops - 1) * hop)
+            self._routes[key] = path
+        return path
+
     # ------------------------------------------------------------------
+    # Occupancy plumbing (slow paths): one (link, epoch) cell at a time,
+    # window slot or overflow dict as the slot's epoch tag dictates.
+    # ------------------------------------------------------------------
+    def _occ_load(self, link: int, epoch: int) -> int:
+        value = self._slots[(epoch & _WINDOW_MASK) * self.num_links + link]
+        if value >> _SLOT_SHIFT == epoch:
+            return value & _SLOT_OCC_MASK
+        return self._overflow.get((epoch << self._link_bits) | link, 0)
+
+    def _occ_store(self, link: int, epoch: int, occupancy: int) -> None:
+        slot = (epoch & _WINDOW_MASK) * self.num_links + link
+        value = self._slots[slot]
+        tag = value >> _SLOT_SHIFT
+        if tag == epoch:
+            self._slots[slot] = (epoch << _SLOT_SHIFT) | occupancy
+        elif tag < epoch:
+            # Recycle the slot for the newer epoch; the retired occupancy
+            # stays exactly readable through the overflow dict.
+            old = value & _SLOT_OCC_MASK
+            if old:
+                self._overflow[(tag << self._link_bits) | link] = old
+            self._slots[slot] = (epoch << _SLOT_SHIFT) | occupancy
+        else:
+            # The slot belongs to a newer epoch (a reservation further in
+            # the future already claimed it): this epoch lives in overflow.
+            self._overflow[(epoch << self._link_bits) | link] = occupancy
+
     def _traverse_naive(self, link: int, t_head: float, flits: int) -> float:
         """Single next-free-time per link (the ablation model).
 
@@ -99,97 +250,180 @@ class MeshNetwork:
         self._link_free_at[link] = depart + flits
         return depart
 
-    def _traverse(self, link: int, t_head: float, flits: int) -> float:
-        """Reserve ``flits`` of bandwidth on ``link``; return head depart time."""
+    def _traverse_link(self, link: int, t_head: float, flits: int) -> float:
+        """Reserve ``flits`` of bandwidth on one link; return head depart time."""
         if self.naive_contention:
             return self._traverse_naive(link, t_head, flits)
-        use = self._epoch_use
         # Times are non-negative, so ``int(t) >> EPOCH_SHIFT`` equals
         # ``int(t // EPOCH_CYCLES)`` without the float division.
         epoch = int(t_head) >> EPOCH_SHIFT
-        key = (epoch << self._link_bits) | link
-        # Fast path: the whole message fits in the arrival epoch (the common
-        # case - messages are <= 9 flits against 32 flits of capacity).
-        used = use.get(key, 0)
-        if used + flits <= EPOCH_CYCLES:
-            use[key] = used + flits
-            return t_head
+        slots = self._slots
+        slot = (epoch & _WINDOW_MASK) * self.num_links + link
+        value = slots[slot]
+        ebase = epoch << _SLOT_SHIFT
+        if value <= ebase + EPOCH_CYCLES - flits:
+            if value >= ebase:
+                slots[slot] = value + flits
+                return t_head
+            if flits <= EPOCH_CYCLES:
+                old = value & _SLOT_OCC_MASK
+                if old:
+                    self._overflow[((value >> _SLOT_SHIFT) << self._link_bits) | link] = old
+                slots[slot] = ebase | flits
+                return t_head
         return self._traverse_congested(link, epoch, t_head, flits)
 
     def _traverse_congested(self, link: int, epoch: int, t_head: float, flits: int) -> float:
         """Slow path: the arrival epoch cannot hold the whole message."""
-        use = self._epoch_use
-        link_bits = self._link_bits
         first = epoch
-        while use.get((epoch << link_bits) | link, 0) >= EPOCH_CYCLES:
+        while self._occ_load(link, epoch) >= EPOCH_CYCLES:
             epoch += 1
         depart = t_head if epoch == first else float(epoch * EPOCH_CYCLES)
         remaining = flits
         while remaining > 0:
-            key = (epoch << link_bits) | link
-            used = use.get(key, 0)
+            used = self._occ_load(link, epoch)
             take = EPOCH_CYCLES - used
             if take > remaining:
                 take = remaining
-            use[key] = used + take
+            self._occ_store(link, epoch, used + take)
             remaining -= take
             epoch += 1
         return depart
 
     # ------------------------------------------------------------------
-    def unicast(self, src: int, dst: int, msg: MsgType, start: float) -> float:
-        """Send one message; return the arrival time of its tail flit.
+    def traverse_path(
+        self,
+        path: tuple,
+        t_head: float,
+        flits: int,
+        # Module constants bound as defaults: local loads on the hottest
+        # code in the simulator instead of global lookups per call.
+        _eshift: int = EPOCH_SHIFT,
+        _emask: int = _EPOCH_MASK,
+        _ecap: int = EPOCH_CYCLES,
+        _wmask: int = _WINDOW_MASK,
+        _sshift: int = _SLOT_SHIFT,
+        _omask: int = _SLOT_OCC_MASK,
+    ) -> float:
+        """Send ``flits`` along a pre-resolved path; return the TAIL arrival.
 
-        A same-tile "message" (e.g. a request whose home slice is local)
-        never enters the network: it arrives instantly and consumes no
-        network energy, which is exactly why R-NUCA locates private data at
-        the requester's own slice.
+        ``path`` is the opaque descriptor from :meth:`resolve_path`.  The
+        empty route is a same-tile "message": it arrives instantly,
+        consumes no network energy and is not counted - exactly why R-NUCA
+        locates private data at the requester's own slice.
+
+        This is the simulator's hottest loop.  The common shape - every hop
+        lands in the head's arrival epoch (paths are <= 2W-2 hops of 2
+        cycles against 32-cycle epochs) and every link has capacity - runs
+        as a single pass of one list index, one subtract, two compares and
+        one float add per link, with the epoch row resolved once for the
+        whole path.  The head time accumulates ``+= hop`` per link (NOT one
+        ``hops * hop`` add at the end: float addition of the hop latency is
+        not associative for fractional times, and bit-identity to the
+        per-link walk is contractual).  Epoch-crossing paths and contended
+        or recycled slots fall back to the generic walk, which reserves
+        identically.
         """
-        flits = self._flits_table[msg]
-        if src == dst:
-            return start
-        routes = self._routes
-        route_key = src * self._num_tiles + dst
-        path = routes[route_key]
-        if path is None:
-            path = self.topology.route(src, dst)
-            routes[route_key] = path
-        hop = self._hop_latency
-        t_head = start
-        if self.model_contention:
-            if self.naive_contention:
-                traverse = self._traverse_naive
-                for link in path:
-                    t_head = traverse(link, t_head, flits) + hop
-            else:
-                # The epoch fast path of _traverse, inlined: one dict probe
-                # per link when the arrival epoch has capacity.  ``t_int``
-                # shadows int(t_head): hops are integral, so the integer
-                # part advances by ``hop`` per uncontended link without a
-                # float truncation per link.
-                use = self._epoch_use
-                link_bits = self._link_bits
-                eshift, ecap = EPOCH_SHIFT, EPOCH_CYCLES
-                t_int = int(t_head)
-                for link in path:
-                    key = ((t_int >> eshift) << link_bits) | link
-                    used = use.get(key, 0)
-                    if used + flits <= ecap:
-                        use[key] = used + flits
-                        t_head += hop
-                        t_int += hop
-                    else:
-                        t_head = (
-                            self._traverse_congested(link, t_int >> eshift, t_head, flits)
-                            + hop
-                        )
-                        t_int = int(t_head)
-        else:
-            t_head = start + len(path) * hop
-        self.link_flit_traversals += flits * len(path)
+        links, hops, span, phase_limit = path
+        if not hops:
+            return t_head
+        self.link_flit_traversals += flits * hops
         self.messages_sent += 1
         self.flits_sent += flits
+        hop = self._hop_latency
+        mode = self._mode
+        if mode:
+            if mode == 2:
+                return t_head + span + (flits - 1)
+            traverse = self._traverse_naive
+            for link in links:
+                t_head = traverse(link, t_head, flits) + hop
+            return t_head + (flits - 1)
+        slots = self._slots
+        num_links = self.num_links
+        t_int = int(t_head)
+        # Single-epoch fast pass: the last head departs at
+        # t_int + (hops - 1) * hop, still inside the arrival epoch.
+        if (t_int & _emask) <= phase_limit and flits <= _ecap:
+            epoch = t_int >> _eshift
+            row = (epoch & _wmask) * num_links
+            ebase = epoch << _sshift
+            spare = ebase + _ecap - flits
+            for link in links:
+                j = row + link
+                value = slots[j]
+                if value <= spare:
+                    if value >= ebase:
+                        # In-epoch slot with capacity: reserve and move on.
+                        slots[j] = value + flits
+                        t_head += hop
+                        continue
+                    # Stale slot: recycle it for this epoch (the retired
+                    # occupancy stays readable through the overflow dict).
+                    old = value & _omask
+                    if old:
+                        self._overflow[
+                            ((value >> _sshift) << self._link_bits) | link
+                        ] = old
+                    slots[j] = ebase | flits
+                    t_head += hop
+                    continue
+                break
+            else:
+                # Every head departed on arrival.
+                return t_head + (flits - 1)
+            # ``link`` was full or owned by a newer epoch: links before it
+            # are already reserved and ``t_head`` is its head-arrival time;
+            # resume the generic walk there, carrying the shadow integer
+            # clock forward (XY routes never repeat a link, so index() is
+            # unambiguous).
+            i = links.index(link)
+            t_int += i * hop
+            links = links[i:]
+        epoch = -1  # sentinel: the generic walk recomputes the row first
+        row = -1
+        ebase = 0
+        spare = 0
+        overflow = self._overflow
+        link_bits = self._link_bits
+        claim_ok = flits <= _ecap
+        for link in links:
+            e = t_int >> _eshift
+            if e != epoch:
+                epoch = e
+                row = (e & _wmask) * num_links
+                ebase = e << _sshift
+                spare = ebase + _ecap - flits
+            j = row + link
+            value = slots[j]
+            if value <= spare:
+                if value >= ebase:
+                    slots[j] = value + flits
+                    t_head += hop
+                    t_int += hop
+                    continue
+                if claim_ok:
+                    old = value & _omask
+                    if old:
+                        overflow[((value >> _sshift) << link_bits) | link] = old
+                    slots[j] = ebase | flits
+                    t_head += hop
+                    t_int += hop
+                    continue
+            t_head = self._traverse_congested(link, epoch, t_head, flits) + hop
+            t_int = int(t_head)
+            epoch = -1  # force a row recompute on the next link
         return t_head + (flits - 1)
+
+    # ------------------------------------------------------------------
+    def unicast(self, src: int, dst: int, msg: MsgType, start: float) -> float:
+        """Send one message; return the arrival time of its tail flit."""
+        if src == dst:
+            return start
+        path = self._routes[src * self._num_tiles + dst]
+        if path is None:
+            path = self.resolve_path(src, dst)
+        return self.traverse_path(path, start, self._flits_table[msg])
 
     # ------------------------------------------------------------------
     def broadcast(self, root: int, msg: MsgType, start: float) -> dict[int, float]:
@@ -198,25 +432,71 @@ class MeshNetwork:
         Each router replicates the message on its tree output links, so the
         network carries exactly one copy per tree edge (``num_tiles - 1``
         link traversals per flit) - the single-injection broadcast of
-        Section 3.1.
+        Section 3.1.  Every tree edge reserves bandwidth through the same
+        ring-buffer slot logic as unicast, with the hop latency cached on
+        the network (not re-read from the arch per edge).
         """
-        flits = self.flits_for(msg)
+        flits = self._flits_table[msg]
         arrival: dict[int, float] = {root: start}
-        edges = self.topology.broadcast_tree(root)
-        hop = self.arch.hop_latency
-        for src, dst in edges:
-            t_head = arrival[src] - (flits - 1) if src != root else start
+        edges = self._bcast_edges.get(root)
+        if edges is None:
+            dense = self._dense_link
+            num_tiles = self._num_tiles
+            edges = tuple(
+                (src, dst, dense[src * num_tiles + dst])
+                for src, dst in self.topology.broadcast_tree(root)
+            )
+            self._bcast_edges[root] = edges
+        hop = self._hop_latency
+        tail = flits - 1
+        contended = self.model_contention
+        traverse = self._traverse_link
+        for src, dst, link in edges:
+            t_head = arrival[src] - tail if src != root else start
             if t_head < start:
                 t_head = start
-            link = self.topology.link_id(src, dst)
-            if self.model_contention:
-                t_head = self._traverse(link, t_head, flits) + hop
+            if contended:
+                t_head = traverse(link, t_head, flits) + hop
             else:
                 t_head = t_head + hop
-            arrival[dst] = t_head + (flits - 1)
+            arrival[dst] = t_head + tail
         # router traversals (flits * num_tiles) are derived: link
         # traversals (flits * (num_tiles - 1) tree edges) + flits_sent.
         self.link_flit_traversals += flits * len(edges)
         self.messages_sent += 1
         self.flits_sent += flits
         return arrival
+
+    # ------------------------------------------------------------------
+    # Introspection (property tests / debugging; not on any hot path).
+    # ------------------------------------------------------------------
+    def reserved_flits(self) -> int:
+        """Total bandwidth reserved across all epochs and links.
+
+        Conservation invariant (pinned by the contention property tests):
+        with the epoch model active this always equals
+        ``link_flit_traversals`` - every flit crossing a link reserves
+        exactly one cycle of capacity, wherever the window placed it.
+        """
+        return (
+            sum(value & _SLOT_OCC_MASK for value in self._slots)
+            + sum(self._overflow.values())
+        )
+
+    def occupancy_map(self) -> dict[tuple[int, int], int]:
+        """The full (epoch, link) -> reserved-flits map, slots + overflow.
+
+        Reconstructs exactly the mapping the PR-3 flat dict stored; the
+        equivalence property test diffs it against a reference model.
+        """
+        out: dict[tuple[int, int], int] = {}
+        num_links = self.num_links
+        for position, value in enumerate(self._slots):
+            occupancy = value & _SLOT_OCC_MASK
+            if occupancy:
+                out[(value >> _SLOT_SHIFT, position % num_links)] = occupancy
+        mask = (1 << self._link_bits) - 1
+        for key, value in self._overflow.items():
+            if value:
+                out[(key >> self._link_bits, key & mask)] = value
+        return out

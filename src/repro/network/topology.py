@@ -52,6 +52,30 @@ class Mesh2D:
         """Encode the directed link src->dst as a flat integer."""
         return src * self.num_tiles + dst
 
+    def directed_links(self) -> tuple[tuple[int, int], ...]:
+        """Every physical directed link as (src, dst), in a fixed order.
+
+        A W x W mesh has ``4 * W * (W - 1)`` directed links (each adjacent
+        tile pair in both directions).  The enumeration order is stable -
+        tile-major, then (+x, -x, +y, -y) - so callers may use the position
+        in this tuple as a dense link index (the contention model's ring
+        buffer is sized ``num_links x WINDOW``, which the sparse
+        ``link_id`` encoding would blow up to ``num_tiles**2``).
+        """
+        links: list[tuple[int, int]] = []
+        width = self.width
+        for tile in range(self.num_tiles):
+            x, y = tile % width, tile // width
+            if x + 1 < width:
+                links.append((tile, tile + 1))
+            if x - 1 >= 0:
+                links.append((tile, tile - 1))
+            if y + 1 < width:
+                links.append((tile, tile + width))
+            if y - 1 >= 0:
+                links.append((tile, tile - width))
+        return tuple(links)
+
     # ------------------------------------------------------------------
     # Unicast routing
     # ------------------------------------------------------------------

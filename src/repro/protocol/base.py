@@ -117,6 +117,11 @@ class ProtocolEngineBase:
         "_words_per_line",
         "_hit_result",
         "_line_home_cache",
+        "_num_tiles",
+        "_net_paths",
+        "_net_resolve",
+        "_net_traverse",
+        "_net_flits",
     )
 
     def __init__(
@@ -154,6 +159,16 @@ class ProtocolEngineBase:
         # Cheap int aliases for the hot path.
         self._l2_latency = arch.l2.latency
         self._words_per_line = arch.words_per_line
+
+        #: Reserved-path traversal plumbing, hoisted once: the multi-hop
+        #: request -> home -> reply chains probe the network's route memo
+        #: directly and reserve whole paths in one ``traverse_path`` call
+        #: (no per-message ``unicast`` wrapper, no MsgType dispatch).
+        self._num_tiles = arch.num_cores
+        self._net_paths = self.network.paths
+        self._net_resolve = self.network.resolve_path
+        self._net_traverse = self.network.traverse_path
+        self._net_flits = [self.network.flits_for(msg) for msg in MsgType]
 
         #: Shared L1-hit result: every field of a hit is constant (zero
         #: latency decomposition, ``hit=True``), so the hit fast path returns
@@ -239,6 +254,18 @@ class ProtocolEngineBase:
         """
         return None
 
+    def sync_boundary_hook(self):
+        """Optional release-boundary callback for the scheduler.
+
+        A family that acts at synchronization release points (e.g. Neat's
+        release-boundary self-downgrade batching) returns a callable
+        ``(core, t)``; the scheduler invokes it when ``core`` passes a
+        release boundary - an unlock completion or a barrier arrival - and
+        once per core at the end of each trace execution (a trace's end is
+        its final release).  Default: None, and the scheduler pays nothing.
+        """
+        return None
+
     # ------------------------------------------------------------------
     @staticmethod
     def _classify_miss(flags: int, upgrade: bool, serviced_remote: bool) -> MissType:
@@ -319,7 +346,10 @@ class ProtocolEngineBase:
         """
         if flush_owner is not None:
             self._flush_private_page(line, flush_owner, now)
-        t = self.network.unicast(core, home, req_msg, now)
+        path = self._net_paths[core * self._num_tiles + home]
+        if path is None:
+            path = self._net_resolve(core, home)
+        t = self._net_traverse(path, now, self._net_flits[req_msg])
         slice_ = self.l2[home]
         store = slice_.store
         l2line = store._sets[line & store._set_mask].get(line)
@@ -366,7 +396,10 @@ class ProtocolEngineBase:
             if self.verify:
                 self.golden.check_read(line, word, l2line.data[word], f"remote read core {core}")
             reply = MsgType.WORD_REPLY
-        return self.network.unicast(home, core, reply, t)
+        path = self._net_paths[home * self._num_tiles + core]
+        if path is None:
+            path = self._net_resolve(home, core)
+        return self._net_traverse(path, t, self._net_flits[reply])
 
     # ------------------------------------------------------------------
     # L2 miss: fetch the line from off-chip memory.

@@ -66,6 +66,17 @@ _WRITE_REQ = int(MsgType.WRITE_REQ)
 _UPGRADE_REQ = int(MsgType.UPGRADE_REQ)
 _LINE_REPLY = int(MsgType.LINE_REPLY)
 _WORD_WRITE_ACK = int(MsgType.WORD_WRITE_ACK)
+_INV_REQ = int(MsgType.INV_REQ)
+_INV_ACK = int(MsgType.INV_ACK)
+_WB_REQ = int(MsgType.WB_REQ)
+_WB_DATA = int(MsgType.WB_DATA)
+_EVICT_NOTIFY = int(MsgType.EVICT_NOTIFY)
+_EVICT_DIRTY = int(MsgType.EVICT_DIRTY)
+
+# Sharer modes as module constants: identity checks against local names on
+# the miss path instead of enum attribute loads.
+_PRIVATE_MODE = SharerMode.PRIVATE
+_REMOTE_MODE = SharerMode.REMOTE
 
 
 class DirectoryEngine(ProtocolEngineBase):
@@ -163,34 +174,72 @@ class DirectoryEngine(ProtocolEngineBase):
         result = AccessResult()
 
         # ---- request to the home slice (tag + directory lookup there).
+        # The home-memo hit (stable line home) plus uncontended delivery is
+        # the common case, so ``_request_at_home``/``_deliver_request`` are
+        # inlined here: reserved-path traversal, per-line serialization, L2
+        # tag access.  Memo misses (first touch, private -> shared
+        # transitions) take the shared slow path.
         if is_write:
             req_msg = _UPGRADE_REQ if upgrade else _WRITE_REQ
         else:
             req_msg = _READ_REQ
-        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+        cached = self._line_home_cache.get(line)
+        if cached is not None and (cached[1] < 0 or cached[1] == core):
+            home = cached[0]
+            path = self._net_paths[core * self._num_tiles + home]
+            if path is None:
+                path = self._net_resolve(core, home)
+            t = self._net_traverse(path, now, self._net_flits[req_msg])
+            slice_ = self.l2[home]
+            store = slice_.store
+            l2line = store._sets[line & store._set_mask].get(line)
+            if l2line is not None and l2line.busy_until > t:
+                result.l2_waiting = l2line.busy_until - t
+                t = l2line.busy_until
+            t += self._l2_latency
+            energy.l2_tag_accesses += 1
+            if l2line is None:
+                slice_.misses += 1
+                l2line, t, result.l2_offchip = self._l2_fill(home, line, t)
+            else:
+                slice_.hits += 1
+        else:
+            home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
         energy.directory_lookups += 1
 
         # ---- classify the requester: private or remote sharer
-        # (classifier.resolve_mode, inlined).
+        # (classifier.resolve_mode inlined, including the tracked-entry
+        # probe of LimitedClassifier.locality_entry - one dict get).
         classifier = self.classifier
         if classifier is None:
-            mode, centry = SharerMode.PRIVATE, None
+            mode, centry = _PRIVATE_MODE, None
         else:
-            centry = classifier.locality_entry(l2line, core, True)
+            entries = l2line.locality
+            centry = entries.get(core) if entries is not None else None
+            if centry is None:
+                centry = classifier.locality_entry(l2line, core, True)
             if centry is not None:
                 mode = centry.mode
             else:
+                # Untracked and untrackable (Limited_k, all slots active):
+                # majority vote, inlined over the same live entry dict that
+                # tracked_entries() would expose.
                 classifier.vote_decisions += 1
-                mode = classifier.majority_vote(l2line)
+                tracked = remote_votes = 0
+                for e in entries.values():
+                    tracked += 1
+                    if e.mode is _REMOTE_MODE:
+                        remote_votes += 1
+                mode = _REMOTE_MODE if 2 * remote_votes > tracked else _PRIVATE_MODE
 
-        if upgrade and mode is SharerMode.REMOTE:
+        if upgrade and mode is _REMOTE_MODE:
             # Rare: the classifier lost this core's slot and votes remote
             # while it still holds an S copy - fold the copy back first.
             self._remove_own_copy(core, line, l2line)
             upgrade = False
 
         serviced_remote = False
-        if mode is SharerMode.REMOTE:
+        if mode is _REMOTE_MODE:
             l1_min = l1.min_set_last_access(line)
             promoted = classifier.on_remote_access(
                 l2line, centry, l1_min, l1_min is None
@@ -219,9 +268,14 @@ class DirectoryEngine(ProtocolEngineBase):
 
         # ---- coherence actions at the home.
         if is_write:
-            sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
-            t += sharers_lat
-            result.l2_sharers = sharers_lat
+            # The no-other-sharers write (the common write miss) skips the
+            # invalidation round without a call; _invalidate_sharers keeps
+            # the same guard for its other callers.
+            sharers = dirent.sharers
+            if sharers and not (len(sharers) == 1 and core in sharers):
+                sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
+                t += sharers_lat
+                result.l2_sharers = sharers_lat
             if classifier is not None:
                 classifier.on_write(l2line, core)
         elif dirent.owner >= 0 and dirent.owner != core:
@@ -231,7 +285,9 @@ class DirectoryEngine(ProtocolEngineBase):
 
         # ---- service: word access at L2 or private line grant.
         if serviced_remote:
-            reply_t = self._service_remote(core, is_write, line, word, l2line, home, slice_, t)
+            reply_t = self._service_word_at_home(
+                core, is_write, line, word, l2line, home, slice_, t
+            )
             flags |= _EVER_REMOTE
         else:
             reply_t = self._service_private(
@@ -268,22 +324,6 @@ class DirectoryEngine(ProtocolEngineBase):
         return result
 
     # ------------------------------------------------------------------
-    # Remote (word) service
-    # ------------------------------------------------------------------
-    def _service_remote(
-        self,
-        core: int,
-        is_write: bool,
-        line: int,
-        word: int,
-        l2line: L2Line,
-        home: int,
-        slice_: L2Slice,
-        t: float,
-    ) -> float:
-        return self._service_word_at_home(core, is_write, line, word, l2line, home, slice_, t)
-
-    # ------------------------------------------------------------------
     # Private (line) service
     # ------------------------------------------------------------------
     def _service_private(
@@ -317,7 +357,10 @@ class DirectoryEngine(ProtocolEngineBase):
             slice_.line_reads += 1
             energy.l2_line_reads += 1
 
-        reply_t = self.network.unicast(home, core, reply, t)
+        path = self._net_paths[home * self._num_tiles + core]
+        if path is None:
+            path = self._net_resolve(home, core)
+        reply_t = self._net_traverse(path, t, self._net_flits[reply])
 
         l1 = self.l1d[core]
         if upgrade:
@@ -382,18 +425,30 @@ class DirectoryEngine(ProtocolEngineBase):
         targets = [c for c in sharers if c != requester]
         if not targets:
             return 0.0
+        paths = self._net_paths
+        resolve = self._net_resolve
+        traverse = self._net_traverse
+        flits_tab = self._net_flits
+        num_tiles = self._num_tiles
         if self.sharer_policy.use_broadcast(dirent):
             arrivals = self.network.broadcast(home, MsgType.INV_BROADCAST, t)
             self.sharer_policy.broadcast_invalidations += 1
         else:
-            arrivals = {
-                c: self.network.unicast(home, c, MsgType.INV_REQ, t) for c in targets
-            }
+            inv_flits = flits_tab[_INV_REQ]
+            arrivals = {}
+            for c in targets:
+                path = paths[home * num_tiles + c]
+                if path is None:
+                    path = resolve(home, c)
+                arrivals[c] = traverse(path, t, inv_flits)
             self.sharer_policy.unicast_invalidations += len(targets)
         done = t
         for c in targets:
             ack_msg = self._purge_target_copy(c, line, l2line, merge_into_l2=True)
-            ack_t = self.network.unicast(c, home, ack_msg, arrivals[c])
+            path = paths[c * num_tiles + home]
+            if path is None:
+                path = resolve(c, home)
+            ack_t = traverse(path, arrivals[c], flits_tab[ack_msg])
             if ack_t > done:
                 done = ack_t
             self.sharer_policy.remove_sharer(dirent, c)
@@ -421,14 +476,14 @@ class DirectoryEngine(ProtocolEngineBase):
         if merge_into_l2 and self.classifier is not None:
             self.classifier.on_removal(l2line, core, putil, RemovalReason.INVALIDATION)
         if removed.state is not MESIState.MODIFIED:
-            return MsgType.INV_ACK
+            return _INV_ACK
         self.energy.l1d_line_reads += 1
         l2line.dirty = True
         if merge_into_l2:
             self.energy.l2_line_writes += 1
         if self.verify:
             l2line.data = list(removed.data)
-        return MsgType.WB_DATA
+        return _WB_DATA
 
     # ------------------------------------------------------------------
     # Synchronous write-back (read request hits an exclusive owner).
@@ -436,22 +491,30 @@ class DirectoryEngine(ProtocolEngineBase):
     def _sync_writeback(self, line: int, l2line: L2Line, home: int, t: float) -> float:
         dirent = l2line.directory
         owner = dirent.owner
-        req_t = self.network.unicast(home, owner, MsgType.WB_REQ, t)
+        paths = self._net_paths
+        num_tiles = self._num_tiles
+        path = paths[home * num_tiles + owner]
+        if path is None:
+            path = self._net_resolve(home, owner)
+        req_t = self._net_traverse(path, t, self._net_flits[_WB_REQ])
         entry = self.l1d[owner].lookup(line)
         if entry is None:
             raise CoherenceError(f"owner {owner} of line {line:#x} has no L1 copy")
         if entry.state is MESIState.MODIFIED:
-            msg = MsgType.WB_DATA
+            msg = _WB_DATA
             self.energy.l1d_line_reads += 1
             self.energy.l2_line_writes += 1
             l2line.dirty = True
             if self.verify:
                 l2line.data = list(entry.data)
         else:
-            msg = MsgType.INV_ACK  # clean downgrade acknowledgement
+            msg = _INV_ACK  # clean downgrade acknowledgement
         entry.state = MESIState.SHARED
         self.sharer_policy.clear_owner(dirent)
-        ack_t = self.network.unicast(owner, home, msg, req_t)
+        path = paths[owner * num_tiles + home]
+        if path is None:
+            path = self._net_resolve(owner, home)
+        ack_t = self._net_traverse(path, req_t, self._net_flits[msg])
         return ack_t - t
 
     # ------------------------------------------------------------------
@@ -465,8 +528,11 @@ class DirectoryEngine(ProtocolEngineBase):
         hist = self._history[core]
         hist[vline] = (hist.get(vline, 0) | _EVER_CACHED) & ~_LAST_REMOVAL_INVAL
         dirty = ventry.state is MESIState.MODIFIED
-        msg = MsgType.EVICT_DIRTY if dirty else MsgType.EVICT_NOTIFY
-        self.network.unicast(core, vhome, msg, t)  # off the critical path
+        msg = _EVICT_DIRTY if dirty else _EVICT_NOTIFY
+        path = self._net_paths[core * self._num_tiles + vhome]
+        if path is None:
+            path = self._net_resolve(core, vhome)
+        self._net_traverse(path, t, self._net_flits[msg])  # off the critical path
         vslice = self.l2[vhome]
         vl2 = vslice.lookup(vline)
         if vl2 is None:

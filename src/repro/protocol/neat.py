@@ -33,6 +33,21 @@ protocol families"):
   SHARED, evictions are silent (no notification - there is nobody to
   notify), and an L2 eviction leaves L1 copies in place: they stay correct
   until the next write bumps the line version.
+* **Release-boundary batching** (``neat_downgrade="release"``).  The
+  published Neat defers the downgrade flush to release boundaries; with
+  this mode the writer buffers dirty words in its own L1 copy
+  (write-allocating on a write miss) and flushes each dirty line as ONE
+  batched ``WB_DATA`` message when the simulator signals a release
+  (unlock or barrier arrival, via :meth:`sync_boundary_hook`), bumping the
+  line version once per flushed line.  A line with pending words is
+  flushed early if its copy must die first (self-invalidation, L1
+  eviction), and every core flushes at the end of the trace.  Flushes are
+  fire-and-forget (off the critical path, like evictions).  Golden-memory
+  verification models release visibility faithfully: a buffered word is
+  ahead of the golden image only inside its writer (whose read hits skip
+  the check for exactly those words), and the flush updates the home line
+  and the golden image at the same simulation point - so readers verify
+  even across the benign races the synthetic traces contain.
 
 The net effect mirrors Neat's published trade-off: directory storage goes to
 zero and invalidation rounds disappear, while store-heavy sharing patterns
@@ -56,7 +71,15 @@ from repro.protocol.base import (
 class NeatEngine(ProtocolEngineBase):
     """Self-invalidation / self-downgrade engine without sharer tracking."""
 
-    __slots__ = ("_line_version", "_copy_version", "self_invalidations", "write_throughs")
+    __slots__ = (
+        "_line_version",
+        "_copy_version",
+        "_release_batching",
+        "_pending",
+        "_flush_result",
+        "self_invalidations",
+        "write_throughs",
+    )
 
     def __init__(self, arch, proto, verify: bool = False) -> None:
         super().__init__(arch, proto, verify)
@@ -65,6 +88,14 @@ class NeatEngine(ProtocolEngineBase):
         self._line_version: dict[int, int] = {}
         #: Per-core {line: version-at-fetch} for resident L1 copies.
         self._copy_version: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
+        #: Release-boundary self-downgrade batching (see module docstring).
+        self._release_batching = proto.neat_downgrade == "release"
+        #: Per-core {line: dirty-word bitmask} of buffered (unflushed) stores.
+        self._pending: list[dict[int, int]] = [dict() for _ in range(arch.num_cores)]
+        #: Scratch result for flush deliveries: _request_at_home records
+        #: serialization/off-chip latency into it, and a flush (being off
+        #: the critical path) discards both.
+        self._flush_result = AccessResult()
         # Statistics.
         self.self_invalidations = 0
         self.write_throughs = 0
@@ -87,6 +118,9 @@ class NeatEngine(ProtocolEngineBase):
         l1 = self.l1d[core]
         entry = l1.lookup(line)
 
+        if is_write and self._release_batching:
+            return self._buffered_write(core, line, word, now, l1, entry)
+
         if entry is not None and not is_write:
             if self._copy_version[core].get(line) == self._line_version.get(line, 0):
                 # Valid read hit: the copy is as fresh as the home.
@@ -94,19 +128,28 @@ class NeatEngine(ProtocolEngineBase):
                 self.miss_stats.record_hit()
                 self.energy.l1d_reads += 1
                 if self.verify:
-                    self.golden.check_read(line, word, entry.data[word], f"Neat hit core {core}")
-                result = AccessResult()
-                result.hit = True
-                return result
+                    # A word this core has buffered but not yet flushed
+                    # (release mode) is ahead of the golden image by
+                    # design: the writer sees its own store, the world
+                    # sees it at the release flush.
+                    if not (self._pending[core].get(line, 0) >> word) & 1:
+                        self.golden.check_read(
+                            line, word, entry.data[word], f"Neat hit core {core}"
+                        )
+                return self._hit_result
             # Stale copy: self-invalidate and reload from the home.
-            self._self_invalidate(core, line)
+            self._self_invalidate(core, line, now)
 
         return self._service_at_home(core, is_write, line, word, now)
 
     # ------------------------------------------------------------------
-    def _self_invalidate(self, core: int, line: int) -> None:
+    def _self_invalidate(self, core: int, line: int, t: float) -> None:
         """Discard ``core``'s (stale) copy of ``line``, recording the
-        invalidation in the histogram and the miss-history flags."""
+        invalidation in the histogram and the miss-history flags.  Buffered
+        stores of the dying copy (release mode) are flushed home first -
+        they must not be lost."""
+        if self._pending[core].get(line):
+            self._flush_line(core, line, t)
         removed = self.l1d[core].remove(line)
         self._copy_version[core].pop(line, None)
         self.self_invalidations += 1
@@ -192,7 +235,7 @@ class NeatEngine(ProtocolEngineBase):
                     entry.data[word] = self._write_token
                 self._copy_version[core][line] = old_version + 1
             else:
-                self._self_invalidate(core, line)
+                self._self_invalidate(core, line, reply_t)
         return reply_t
 
     # ------------------------------------------------------------------
@@ -202,7 +245,10 @@ class NeatEngine(ProtocolEngineBase):
         """Read miss: fetch the full line, install it clean SHARED."""
         slice_.line_reads += 1
         self.energy.l2_line_reads += 1
-        reply_t = self.network.unicast(home, core, MsgType.LINE_REPLY, t)
+        path = self._net_paths[home * self._num_tiles + core]
+        if path is None:
+            path = self._net_resolve(home, core)
+        reply_t = self._net_traverse(path, t, self._net_flits[int(MsgType.LINE_REPLY)])
 
         l1 = self.l1d[core]
         data = list(l2line.data) if self.verify else None
@@ -218,8 +264,129 @@ class NeatEngine(ProtocolEngineBase):
         return reply_t
 
     # ------------------------------------------------------------------
+    # Release-boundary self-downgrade batching (neat_downgrade="release").
+    # ------------------------------------------------------------------
+    def _buffered_write(
+        self, core: int, line: int, word: int, now: float, l1, entry
+    ) -> AccessResult:
+        """Release-mode store: buffer the dirty word in the writer's copy.
+
+        A fresh resident copy makes the store a pure L1 hit (zero latency,
+        zero traffic now - the word rides the next release flush).  A stale
+        or absent copy write-allocates: the stale copy is flushed-and-
+        discarded, the line is fetched like a read miss and the store lands
+        in the fresh copy.
+        """
+        versions = self._copy_version[core]
+        if entry is not None and versions.get(line) == self._line_version.get(line, 0):
+            l1.hit(entry, now)
+            self.miss_stats.record_hit()
+            self.energy.l1d_writes += 1
+            pending = self._pending[core]
+            pending[line] = pending.get(line, 0) | (1 << word)
+            if self.verify:
+                # Mint the token into the local copy only; the golden image
+                # is written at the flush, atomically with the home update,
+                # so home and golden never disagree (racy readers verify).
+                entry.data[word] = self._issue_write_token(core)
+            return self._hit_result
+        result = AccessResult()
+        flags = self._history[core].get(line, 0)
+        if entry is not None:
+            result.miss_type = MissType.SHARING  # another core's flush killed it
+            self._self_invalidate(core, line, now)
+        else:
+            result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=False)
+        l1.misses += 1
+        self.energy.l1d_tag_accesses += 1
+        home, slice_, l2line, t = self._request_at_home(
+            core, line, MsgType.READ_REQ, now, result
+        )
+        slice_.line_reads += 1
+        self.energy.l2_line_reads += 1
+        path = self._net_paths[home * self._num_tiles + core]
+        if path is None:
+            path = self._net_resolve(home, core)
+        reply_t = self._net_traverse(path, t, self._net_flits[int(MsgType.LINE_REPLY)])
+        data = list(l2line.data) if self.verify else None
+        evicted = l1.fill(line, MESIState.SHARED, reply_t, data)
+        self.energy.l1d_line_fills += 1
+        if evicted is not None:
+            self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
+        versions[line] = self._line_version.get(line, 0)
+        self.energy.l1d_writes += 1
+        pending = self._pending[core]
+        pending[line] = pending.get(line, 0) | (1 << word)
+        if self.verify:
+            # Token into the local copy only; golden is written at the
+            # flush (see _flush_line).
+            self.l1d[core].lookup(line).data[word] = self._issue_write_token(core)
+        self._history[core][line] = flags | _EVER_CACHED
+        self.miss_stats.record_miss(result.miss_type)
+        # The fetch is a read at the home: no ownership, bank-pipelined.
+        busy = t - self._l2_latency + 1.0
+        if busy > l2line.busy_until:
+            l2line.busy_until = busy
+        slice_.touch(l2line, t)
+        result.latency = reply_t - now
+        result.l1_to_l2 = result.latency - result.l2_waiting - result.l2_offchip
+        return result
+
+    def _flush_line(self, core: int, line: int, t: float, entry=None) -> None:
+        """Self-downgrade one line's buffered words: a single batched
+        ``WB_DATA`` message to the home, one version bump, fire-and-forget
+        (off the critical path, like evictions)."""
+        mask = self._pending[core].pop(line)
+        result = self._flush_result
+        result.l2_waiting = 0.0
+        result.l2_offchip = 0.0
+        home, slice_, l2line, t_at_home = self._request_at_home(
+            core, line, MsgType.WB_DATA, t, result
+        )
+        if entry is None:
+            entry = self.l1d[core].lookup(line)
+        word = 0
+        bits = mask
+        while bits:
+            if bits & 1:
+                slice_.word_writes += 1
+                self.energy.l2_word_writes += 1
+                l2line.dirty = True
+                l2line.dirty_words |= 1 << word
+                if self.verify and entry is not None and entry.data is not None:
+                    # Home and golden update at the same simulation point:
+                    # any read serviced at the home always matches golden,
+                    # even for (benign) races the trace may contain.
+                    l2line.data[word] = entry.data[word]
+                    self.golden.write_word(line, word, entry.data[word])
+            bits >>= 1
+            word += 1
+        self.write_throughs += 1  # one downgrade message per flushed line
+        version = self._line_version.get(line, 0) + 1
+        self._line_version[line] = version
+        if entry is not None:
+            # The writer's copy is exactly the flushed image: still fresh.
+            self._copy_version[core][line] = version
+        l2line.busy_until = t_at_home
+        slice_.touch(l2line, t_at_home)
+
+    def _release_flush(self, core: int, t: float) -> None:
+        """Release boundary: flush every line with buffered stores."""
+        pending = self._pending[core]
+        for line in list(pending):
+            self._flush_line(core, line, t)
+
+    def sync_boundary_hook(self):
+        """Release-boundary callback (see ``ProtocolEngineBase``): flush
+        buffered self-downgrades at unlock/barrier/end-of-trace."""
+        return self._release_flush if self._release_batching else None
+
+    # ------------------------------------------------------------------
     def _handle_l1_eviction(self, core: int, vline: int, ventry, t: float) -> None:
-        """Silent eviction: copies are clean and nobody tracks them."""
+        """Silent eviction: copies are clean and nobody tracks them.
+        Buffered stores of the victim (release mode) are flushed first."""
+        if self._pending[core].get(vline):
+            self._flush_line(core, vline, t, entry=ventry)
         self.evict_histogram.record(ventry.utilization)
         hist = self._history[core]
         hist[vline] = (hist.get(vline, 0) | _EVER_CACHED) & ~_LAST_REMOVAL_INVAL

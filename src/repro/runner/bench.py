@@ -24,22 +24,50 @@ from __future__ import annotations
 import json
 import time
 
-from repro.common.params import ArchConfig, ProtocolConfig, baseline_protocol
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    ArchConfig,
+    ProtocolConfig,
+    baseline_protocol,
+    dls_protocol,
+    neat_protocol,
+    victim_replication_protocol,
+)
 from repro.sim.multicore import Simulator
 from repro.workloads.registry import load_workload
 
-#: The default fixed grid points (Figure-11 sweep points).  The first entry
-#: is the primary point quoted in CHANGES/BENCH trajectories; the rest give
-#: a hit-heavy (susan), a miss-heavy (radix) and a sync-heavy (tsp) profile
-#: so a regression in any one hot path is visible.
-DEFAULT_POINTS: tuple[tuple[str, int], ...] = (
-    ("tsp", 4),
-    ("susan", 4),
-    ("radix", 4),
+#: The default fixed grid points as (workload, pct, family).  The first
+#: entry is the primary point quoted in CHANGES/BENCH trajectories; the
+#: rest give a hit-heavy (susan), a miss-heavy (radix) and a sync-heavy
+#: (tsp) profile, plus the miss-heaviest profiles of all - the DLS (every
+#: access a word round-trip) and Neat (write-through) comparison families
+#: on radix - so a regression in any one hot path is visible.
+DEFAULT_POINTS: tuple[tuple[str, int, str], ...] = (
+    ("tsp", 4, "pct"),
+    ("susan", 4, "pct"),
+    ("radix", 4, "pct"),
+    ("radix", 1, "dls"),
+    ("radix", 1, "neat"),
 )
 
+#: Family -> ProtocolConfig for benched points ("pct" follows the paper's
+#: sweep convention: PCT=1 is the baseline, otherwise adaptive at PCT).
+BENCH_FAMILIES = ("pct", "baseline", "victim", "dls", "neat")
 
-def _protocol_for(pct: int) -> ProtocolConfig:
+
+def _protocol_for(pct: int, family: str = "pct") -> ProtocolConfig:
+    if family not in BENCH_FAMILIES:
+        raise ConfigError(
+            f"unknown bench family {family!r} (choose from {BENCH_FAMILIES})"
+        )
+    if family == "baseline":
+        return baseline_protocol()
+    if family == "victim":
+        return victim_replication_protocol()
+    if family == "dls":
+        return dls_protocol()
+    if family == "neat":
+        return neat_protocol()
     if pct <= 1:
         return baseline_protocol()
     return ProtocolConfig(protocol="adaptive", pct=pct, rat_max=max(16, pct))
@@ -52,10 +80,17 @@ def bench_point(
     scale: str = "small",
     repeats: int = 3,
     warmup: bool = True,
+    family: str = "pct",
 ) -> dict:
-    """Benchmark one grid point; returns a JSON-ready result row."""
+    """Benchmark one grid point; returns a JSON-ready result row.
+
+    The row records the *effective* PCT of the protocol actually simulated
+    (non-"pct" families ignore the argument and run at PCT=1), so trend
+    keys always match between reports regardless of the caller's --pct.
+    """
     arch = ArchConfig(num_cores=cores)
-    proto = _protocol_for(pct)
+    proto = _protocol_for(pct, family)
+    pct = proto.pct
 
     build_best = float("inf")
     trace = None
@@ -79,6 +114,7 @@ def bench_point(
     executed = records * (2 if warmup else 1)
     return {
         "workload": workload,
+        "family": family,
         "pct": pct,
         "cores": cores,
         "scale": scale,
@@ -93,19 +129,30 @@ def bench_point(
 
 
 def run_bench(
-    points: tuple[tuple[str, int], ...] = DEFAULT_POINTS,
+    points: tuple[tuple[str, int, str], ...] = DEFAULT_POINTS,
     cores: int = 64,
     scale: str = "small",
     repeats: int = 3,
     json_path: str | None = None,
 ) -> dict:
-    """Benchmark all ``points``; optionally write the report as JSON."""
+    """Benchmark all ``points``; optionally write the report as JSON.
+
+    Points are ``(workload, pct, family)``; legacy two-element points are
+    accepted as family "pct".
+    """
     rows = [
-        bench_point(workload, pct, cores=cores, scale=scale, repeats=repeats)
-        for workload, pct in points
+        bench_point(
+            point[0],
+            point[1],
+            cores=cores,
+            scale=scale,
+            repeats=repeats,
+            family=point[2] if len(point) > 2 else "pct",
+        )
+        for point in points
     ]
     report = {
-        "schema": 1,
+        "schema": 2,  # 2: rows carry the protocol family
         "metric": "records/second, best of repeats, process_time",
         "points": rows,
     }
@@ -118,12 +165,13 @@ def run_bench(
 
 def format_report(report: dict) -> str:
     lines = [
-        f"{'workload':<14} {'pct':>3} {'records':>9} "
+        f"{'workload':<14} {'family':<8} {'pct':>3} {'records':>9} "
         f"{'build rec/s':>12} {'simulate rec/s':>15}"
     ]
     for row in report["points"]:
         lines.append(
-            f"{row['workload']:<14} {row['pct']:>3} {row['records']:>9} "
+            f"{row['workload']:<14} {row.get('family', 'pct'):<8} "
+            f"{row['pct']:>3} {row['records']:>9} "
             f"{row['build_records_per_second']:>12} "
             f"{row['simulate_records_per_second']:>15}"
         )

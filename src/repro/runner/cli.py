@@ -92,12 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid-point workloads (default: the fixed bench set)")
     bench.add_argument("--pct", type=int, default=4,
                        help="PCT for the benchmarked points (default 4)")
+    bench.add_argument("--family", default="pct",
+                       choices=("pct", "baseline", "victim", "dls", "neat"),
+                       help="protocol family for the --workloads points "
+                       "(pct = the paper sweep convention; requires "
+                       "--workloads, the default point set has fixed "
+                       "families)")
     bench.add_argument("--cores", type=int, default=64)
     bench.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
     bench.add_argument("--repeats", type=int, default=3,
                        help="repetitions per metric; best-of is reported")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write the report as JSON to PATH")
+
+    trend = sub.add_parser(
+        "trend",
+        help="diff bench reports or result-cache logs across revisions",
+    )
+    trend.add_argument("old", help="older source: BENCH_*.json / bench --json "
+                       "report, or a results.jsonl cache log (or its directory)")
+    trend.add_argument("new", help="newer source of the same kind")
+    trend.add_argument("--metric", default=None,
+                       help="restrict the comparison (and the regression "
+                       "gate) to one metric")
+    trend.add_argument("--assert-within", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit 1 when any compared metric regressed by "
+                       "more than FRACTION (bench sources gate on simulate "
+                       "throughput, e.g. 0.30 = fail on a >30%% drop)")
 
     # Delegating verbs: argument parsing happens in the delegate (main()
     # forwards everything after the verb verbatim; argparse's REMAINDER
@@ -189,8 +211,12 @@ def _cmd_bench(args) -> int:
     from repro.runner.bench import DEFAULT_POINTS, format_report, run_bench
 
     if args.workloads:
-        points = tuple((name, args.pct) for name in args.workloads)
+        points = tuple((name, args.pct, args.family) for name in args.workloads)
     else:
+        if args.family != "pct":
+            print("error: --family requires --workloads (the default bench "
+                  "points carry fixed families)", file=sys.stderr)
+            return 2
         points = DEFAULT_POINTS
     report = run_bench(
         points,
@@ -205,10 +231,34 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trend(args) -> int:
+    from repro.runner.trend import format_rows, run_trend, worst_regression
+
+    rows, code = run_trend(
+        args.old, args.new, assert_within=args.assert_within, metric=args.metric
+    )
+    print(format_rows(rows))
+    if args.assert_within is not None:
+        metric = args.metric
+        if metric is None and rows and rows[0]["metric"].endswith("records_per_second"):
+            metric = "simulate_records_per_second"
+        worst = worst_regression(rows, metric)
+        if worst is not None:
+            print(
+                f"worst regression: {worst['key']} {worst['metric']} "
+                f"{worst['regression']:+.1%} (gate: {args.assert_within:.0%})",
+                file=sys.stderr,
+            )
+        if code:
+            print("trend: REGRESSION beyond threshold", file=sys.stderr)
+    return code
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "bench": _cmd_bench,
+    "trend": _cmd_trend,
 }
 
 

@@ -28,7 +28,9 @@ from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
 #: way that invalidates previously cached results.
 #: 2: RunStats gained the Neat counters (self_invalidations, write_throughs)
 #:    and ProtocolConfig the dls/neat families with directory="none".
-JOB_SCHEMA = 2
+#: 3: ProtocolConfig gained ``neat_downgrade`` (release-boundary batched
+#:    self-downgrade), changing the canonical proto serialization.
+JOB_SCHEMA = 3
 
 
 def canonical_json(payload: dict) -> str:

@@ -135,7 +135,13 @@ class Simulator:
         """
         arch = self.arch
         num_cores = arch.num_cores
-        ops_cols, addr_cols, work_cols = trace.ops, trace.addresses, trace.works
+        # Materialized list views of the columnar IR: indexing an
+        # ``array('q')`` boxes a fresh int object per read, while a list
+        # returns the already-boxed object.  One bulk conversion per
+        # execution buys back three boxings per record in the loop below.
+        ops_cols = [list(col) for col in trace.ops]
+        addr_cols = [list(col) for col in trace.addresses]
+        work_cols = [list(col) for col in trace.works]
         lengths = [len(col) for col in ops_cols]
         indices = [0] * num_cores
         clocks = list(start_clocks)
@@ -143,6 +149,11 @@ class Simulator:
         barrier_latency = arch.barrier_latency
         lock_latency = arch.lock_latency
         access = engine.access
+        #: Release-boundary callback (Neat self-downgrade batching): only
+        #: consulted at unlock/barrier/end-of-trace, so families without
+        #: one (the default None) add a single is-not-None test to those
+        #: rare opcodes and nothing to the record loop.
+        sync_cb = engine.sync_boundary_hook()
         heappush, heappop = heapq.heappush, heapq.heappop
         heappushpop = heapq.heappushpop
 
@@ -157,14 +168,21 @@ class Simulator:
             f_mask = fast["set_mask"]
             f_exclusive = fast["exclusive"]
             f_modified = fast["modified"]
-            #: Deferred hit counters, flushed into the engine's aggregate
-            #: counters (plain integer sums - order-independent) at the end
-            #: of this execution, keeping the per-hit work to list updates.
-            hits_r = [0] * num_cores
-            hits_w = [0] * num_cores
         else:
-            f_buckets = None
+            # No inline hit path: probe permanently-empty surrogate buckets
+            # (the engine fills its own L1 structures, never these), so the
+            # record loop needs no per-record "is there a fast path?" check
+            # - every probe misses and every access takes the full path.
+            f_buckets = [{}] * num_cores
             f_set_bits = 0
+            f_stores = None
+            f_mask = 0
+            f_exclusive = f_modified = None
+        #: Deferred hit counters, flushed into the engine's aggregate
+        #: counters (plain integer sums - order-independent) at the end
+        #: of this execution, keeping the per-hit work to list updates.
+        hits_r = [0] * num_cores
+        hits_w = [0] * num_cores
         line_bits = addrmod.LINE_BITS
 
         ready: list[tuple[float, int]] = [
@@ -203,14 +221,13 @@ class Simulator:
                 work = works[i]
 
                 if op == op_read:
-                    acc += work + l1_hit_latency
-                    t = now + work + l1_hit_latency
+                    work += l1_hit_latency
+                    acc += work
+                    t = now + work
                     address = addresses[i]
                     i += 1
-                    entry = None
-                    if f_buckets is not None:
-                        line = address >> line_bits
-                        entry = f_buckets[core_sets | (line & f_mask)].get(line)
+                    line = address >> line_bits
+                    entry = f_buckets[core_sets | (line & f_mask)].get(line)
                     if entry is not None:
                         # Inline L1 read hit: exactly the bookkeeping the
                         # engine's access() hit branch performs (the
@@ -231,14 +248,13 @@ class Simulator:
                             bd.l2_offchip += result.l2_offchip
                             t += result.latency
                 elif op == op_write:
-                    acc += work + l1_hit_latency
-                    t = now + work + l1_hit_latency
+                    work += l1_hit_latency
+                    acc += work
+                    t = now + work
                     address = addresses[i]
                     i += 1
-                    entry = None
-                    if f_buckets is not None:
-                        line = address >> line_bits
-                        entry = f_buckets[core_sets | (line & f_mask)].get(line)
+                    line = address >> line_bits
+                    entry = f_buckets[core_sets | (line & f_mask)].get(line)
                     if entry is not None and entry.state >= f_exclusive:
                         # Inline L1 write hit (the silent E -> M upgrade).
                         store = f_stores[core]
@@ -260,6 +276,8 @@ class Simulator:
                 elif op == op_barrier:
                     t = now + work
                     i += 1
+                    if sync_cb is not None:
+                        sync_cb(core, t)  # a barrier arrival is a release
                     indices[core] = i  # release below may re-queue this core
                     compute[core] = acc + work
                     address = addresses[i - 1]
@@ -315,6 +333,8 @@ class Simulator:
                         )
                     t += lock_latency
                     bd.sync += lock_latency
+                    if sync_cb is not None:
+                        sync_cb(core, t)  # flush before the lock hand-off
                     if state.queue:
                         wcore, arrival = state.queue.popleft()
                         state.held_by = wcore
@@ -337,15 +357,19 @@ class Simulator:
 
                 if i < n:
                     if ready:
-                        entry = (t, core)
-                        nxt = heappushpop(ready, entry)
-                        if nxt is entry:
+                        # Keep-running pre-check against the heap root: the
+                        # same (t, core) tuple order heappushpop applies,
+                        # without allocating the entry or sifting when this
+                        # core remains the min-clock choice.
+                        r0 = ready[0]
+                        rt = r0[0]
+                        if t < rt or (t == rt and core < r0[1]):
                             now = t  # still the min-clock core: keep going
                             continue
                         indices[core] = i
                         clocks[core] = t
                         compute[core] = acc
-                        now, core = nxt
+                        now, core = heappushpop(ready, (t, core))
                     else:
                         now = t  # only runnable core left
                         continue
@@ -364,9 +388,15 @@ class Simulator:
                 f"deadlock: {blocked} cores still blocked at end of trace "
                 f"(barriers awaiting: {sorted(barrier_waiters)})"
             )
+        if sync_cb is not None:
+            # End of the trace is its final release: no buffered store may
+            # outlive the execution (the verify-mode final-state sweep and
+            # the warmup -> measure transition both rely on this).
+            for core in range(num_cores):
+                sync_cb(core, clocks[core])
         for core in range(num_cores):
             breakdowns[core].compute += compute[core]
-        if f_buckets is not None:
+        if fast is not None:
             l1s = fast["l1s"]
             reads = 0
             writes = 0
