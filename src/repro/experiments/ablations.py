@@ -151,7 +151,8 @@ def core_count_scaling(
         for n in core_counts
         for proto in protos
     ]
-    stats = iter(ParallelRunner(workers=workers).run(jobs))
+    with ParallelRunner(workers=workers) as runner:
+        stats = iter(runner.run(jobs))
     data: dict[str, dict[int, tuple[float, float]]] = {}
     for name in workloads:
         per_n: dict[int, tuple[float, float]] = {}

@@ -15,9 +15,12 @@ import argparse
 import sys
 import time
 
+from repro.common.errors import ReproError
 from repro.experiments.figures import FIGURES
 from repro.experiments.harness import ExperimentRunner, bench_arch
 from repro.experiments.storage import storage_table
+from repro.runner.backends import BACKEND_NAMES, make_backend
+from repro.runner.backends.remote import DEFAULT_WINDOW
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -48,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for simulation batches "
                         "(default: 1 = in-process)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default="auto",
+                        help="execution backend for simulation batches "
+                        "(default: auto = remote when --hosts is given, "
+                        "else process pool when --workers > 1)")
+    parser.add_argument("--hosts", default=None, metavar="H:P[,H:P...]",
+                        help="comma-separated repro-serve daemons to shard "
+                        "figure grids across (implies --backend remote)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="max in-flight jobs per remote host "
+                        f"(default: {DEFAULT_WINDOW})")
     parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
                         metavar="DIR",
                         help="persist/reuse results in an on-disk cache "
@@ -83,20 +96,30 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
         return 2
-    runner = ExperimentRunner(
+    try:
+        backend = make_backend(
+            args.backend, workers=args.workers, hosts=args.hosts, window=args.window
+        )
+    except ReproError as exc:  # e.g. a malformed --hosts spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The context manager closes the pool/backend even when a figure raises
+    # mid-batch (previously a failed sweep leaked the worker pool).
+    with ExperimentRunner(
         arch=bench_arch(args.cores),
         scale=args.scale,
         workloads=workloads,
         warmup=not args.no_warmup,
         workers=args.workers,
         store=ResultStore(args.cache) if args.cache else None,
-    )
-    for figure_id in wanted:
-        start = time.time()
-        result = FIGURES[figure_id](runner)
-        print(result.text)
-        print(f"[{result.figure} in {time.time() - start:.1f}s, "
-              f"{runner.cached_runs} cached runs, {runner.simulations} simulated]\n")
+        backend=backend,
+    ) as runner:
+        for figure_id in wanted:
+            start = time.time()
+            result = FIGURES[figure_id](runner)
+            print(result.text)
+            print(f"[{result.figure} in {time.time() - start:.1f}s, "
+                  f"{runner.cached_runs} cached runs, {runner.simulations} simulated]\n")
     return 0
 
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.common.params import ArchConfig, CacheGeometry, ProtocolConfig, baseline_protocol
+from repro.runner.backends import ExecutionBackend
 from repro.runner.job import Job
 from repro.runner.parallel import ParallelRunner, build_trace, format_progress
 from repro.runner.store import ResultStore
@@ -94,6 +95,10 @@ class ExperimentRunner:
     workers: int = 1
     #: Optional on-disk result cache shared across sessions.
     store: ResultStore | None = None
+    #: Optional execution backend (e.g. a ``RemoteBackend`` sharding figure
+    #: grids across ``repro serve`` daemons).  ``None`` = derive from
+    #: ``workers`` as the runner always has.
+    backend: ExecutionBackend | None = None
 
     def __post_init__(self) -> None:
         self._results: dict[str, RunStats] = {}
@@ -101,6 +106,7 @@ class ExperimentRunner:
             store=self.store,
             workers=self.workers,
             progress=self._progress if self.verbose else None,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -157,6 +163,21 @@ class ExperimentRunner:
     def simulations(self) -> int:
         """Simulations actually executed (memo/store hits excluded)."""
         return self._runner.simulations
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the execution backend (pool / connections); idempotent.
+
+        The in-session result memo survives, so a closed runner can keep
+        serving memoized points - only fresh simulations respawn resources.
+        """
+        self._runner.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 #: Process-wide runner shared by the pytest-benchmark suite so figures that

@@ -1,0 +1,109 @@
+"""Multiprocessing pool backend: spawn-safe workers on the local machine.
+
+Worker processes are **spawn-safe**: the pool is created from the ``spawn``
+context (the fork-unsafe-by-default world of macOS/Windows and of threaded
+parents) and workers receive only serialized ``(payload, trace | None)``
+tasks.  Each worker rebuilds ``ArchConfig``/``ProtocolConfig``/``Simulator``
+from the payload, adopts the shipped columnar trace into its per-process
+memo (or regenerates it under ``rng.seed_scope(job.seed)`` when none was
+shipped), and derives every random stream from the job itself - never from
+inherited process state (see DESIGN.md, "Runner and result cache").
+
+Results cross the process boundary as ``RunStats.to_dict()`` payloads - the
+exact representation the cache persists - so pooled execution is bit-identical
+to the serial reference by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.common.errors import RunnerError
+from repro.runner.backends.local import Task, run_task
+
+
+@dataclass
+class ProcessBackend:
+    """Shards task batches over a lazily created ``multiprocessing`` pool."""
+
+    workers: int = 2
+    #: ``multiprocessing`` start method.  "spawn" works everywhere and proves
+    #: workers carry no inherited state; "fork" is faster where available.
+    start_method: str = "spawn"
+
+    wants_traces = True
+    #: Per-batch progress label: "parallel" for pooled batches, "serial" when
+    #: a single-task batch runs inline in the parent (no pool spin-up).
+    source: str = field(default="parallel", init=False)
+
+    #: Worker pool, created lazily on the first multi-task batch and kept for
+    #: the backend's lifetime: a figure gallery submits one batch per figure,
+    #: and reusing the pool preserves both the spawn startup cost and each
+    #: worker's trace memo across batches.  Terminated by :meth:`close` (or
+    #: the pool's own GC finalizer; workers are daemonic either way).
+    _pool: object = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def run_batch(self, tasks: Iterable[Task]) -> Iterator[tuple[str, dict]]:
+        """Execute a batch over the pool; yields results as workers finish.
+
+        Tasks are consumed lazily, so parent-side trace compilation overlaps
+        with worker execution.  A batch of exactly one task runs inline in
+        the parent (reported as ``source="serial"``): spinning up a pool for
+        it would cost more than the simulation.
+        """
+        it = iter(tasks)
+        first = next(it, None)
+        if first is None:
+            return
+        second = next(it, None)
+        if second is None:
+            self.source = "serial"
+            yield run_task(first)
+            return
+        self.source = "parallel"
+
+        def chain() -> Iterator[Task]:
+            yield first
+            yield second
+            yield from it
+
+        pool = self._ensure_pool()
+        try:
+            yield from pool.imap_unordered(run_task, chain())
+        except RunnerError:
+            raise
+        except Exception as exc:  # worker crash: surface which engine failed
+            self.close()
+            raise RunnerError(f"worker pool failed: {exc}") from exc
+
+    def submit(
+        self,
+        task: Task,
+        callback: Callable[[tuple[str, dict]], None],
+        error_callback: Callable[[BaseException], None],
+    ) -> None:
+        """Dispatch one task asynchronously (callbacks fire on a pool thread).
+
+        This is the hook the ``repro serve`` daemon uses to front the pool
+        from its asyncio event loop: each incoming job frame becomes one
+        ``submit`` whose callback resolves an asyncio future.
+        """
+        self._ensure_pool().apply_async(
+            run_task, (task,), callback=callback, error_callback=error_callback
+        )
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent; a new one spawns on demand)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

@@ -1,0 +1,553 @@
+"""Distributed execution: asyncio job daemon + multi-host client backend.
+
+The wire protocol is **newline-delimited JSON frames over TCP** - one JSON
+object per line, no binary framing, so a daemon can be driven by hand with
+``nc`` and frames stay greppable in captures.  Frame types:
+
+* client -> daemon ``{"type": "hello", "wire": W, "job_schema": S}`` and the
+  daemon's reply ``{"type": "hello", "wire": W, "job_schema": S,
+  "workers": K}`` - both sides refuse mismatched schemas up front rather
+  than misinterpreting payloads;
+* client -> daemon ``{"type": "run", "id": I, "job": <Job.to_dict()>}`` -
+  the job payload is the exact ``common/params.py``-hashed serialization the
+  cache persists, so the daemon recomputes ``Job.key`` locally and traces
+  regenerate deterministically on the remote host (job frames never carry
+  trace bytes);
+* daemon -> client ``{"type": "result", "id": I, "key": K, "stats":
+  <RunStats.to_dict()>}`` or ``{"type": "error", "id": I, "message": M}``.
+
+Bit-identity across the wire is structural: stats cross as the same
+``RunStats.to_dict()`` JSON payloads the on-disk cache stores, and JSON
+round-trips Python floats exactly (``repr`` graded), so a remote result is
+byte-equal to a serial run of the same job.
+
+``Daemon`` (the ``repro serve`` verb) fronts its own
+:class:`~repro.runner.backends.process.ProcessBackend`: each ``run`` frame is
+dispatched to the pool via an asyncio future, results stream back per
+connection as they finish (out of order; the ``id`` correlates), and an
+optional server-side :class:`~repro.runner.store.ResultStore` persists every
+result under the same ``O_APPEND`` discipline the client uses.
+
+``RemoteBackend`` shards a batch's tasks across hosts with a bounded
+in-flight **window** per host, streams results back as they land, and
+survives failures: a dropped connection requeues that host's outstanding
+jobs at the front of the shared queue (any host may pick them up - including
+the same one after it reconnects), reconnection retries back off linearly,
+and a host that exhausts its retries is marked dead.  The batch fails only
+when every host is dead with jobs outstanding, or a job itself raises
+remotely (deterministic failures would fail on every host alike).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.common.errors import ConfigError, RunnerError
+from repro.runner.backends.local import Task
+from repro.runner.backends.process import ProcessBackend
+from repro.runner.job import JOB_SCHEMA, Job
+from repro.runner.store import ResultStore
+
+#: Bump when the frame grammar changes incompatibly.  Job payload
+#: compatibility is covered separately by ``job_schema`` in the handshake.
+WIRE_SCHEMA = 1
+
+#: Default daemon port (unregistered range; override with ``--port``).
+DEFAULT_PORT = 8642
+#: Default in-flight window per host: deep enough to hide one round-trip
+#: behind simulation time, shallow enough that a dying host strands little.
+DEFAULT_WINDOW = 4
+
+
+# ----------------------------------------------------------------------
+# Frame plumbing
+# ----------------------------------------------------------------------
+def encode_frame(frame: dict) -> bytes:
+    """One frame -> one compact JSON line (the only bytes on the wire)."""
+    return (json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+#: StreamReader line limit.  Frames are ~1 KB in practice (a result frame at
+#: 64-core small scale measures under 1 KiB), but histograms scale with the
+#: configuration, so leave generous headroom over asyncio's 64 KiB default.
+STREAM_LIMIT = 4 * 1024 * 1024
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Next frame from the stream, or ``None`` on clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        # EOF mid-line: a peer died while flushing a frame.  That is
+        # transport death (requeue/reconnect), not a protocol violation.
+        raise ConnectionError("stream ended mid-frame")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RunnerError(f"malformed wire frame: {exc}") from exc
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise RunnerError(f"malformed wire frame: {line!r}")
+    return frame
+
+
+def parse_hosts(spec: str | Iterable[tuple[str, int]]) -> tuple[tuple[str, int], ...]:
+    """``"h1:p1,h2:p2"`` -> ``(("h1", p1), ("h2", p2))`` (pairs pass through)."""
+    if not isinstance(spec, str):
+        hosts = tuple((host, int(port)) for host, port in spec)
+    else:
+        hosts = ()
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            host, sep, port = part.rpartition(":")
+            if not sep or not host:
+                raise ConfigError(f"host spec needs host:port, got {part!r}")
+            try:
+                hosts += ((host, int(port)),)
+            except ValueError:
+                raise ConfigError(f"invalid port in host spec {part!r}") from None
+    if not hosts:
+        raise ConfigError("remote backend needs at least one host:port")
+    return hosts
+
+
+# ----------------------------------------------------------------------
+# Daemon (the `repro serve` verb)
+# ----------------------------------------------------------------------
+class Daemon:
+    """Asyncio TCP server fronting a local process pool."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: ResultStore | None = None,
+        start_method: str = "spawn",
+    ) -> None:
+        self.workers = max(1, workers)
+        self.store = store
+        self.backend = ProcessBackend(workers=self.workers, start_method=start_method)
+        #: Results served over the daemon's lifetime (for the shutdown line).
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    async def _submit(self, payload: dict) -> tuple[str, dict]:
+        """Bridge one job onto the pool; resolves on a loop-safe future."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def _resolve(setter, value):
+            if not future.done():
+                setter(value)
+
+        self.backend.submit(
+            (payload, None),
+            callback=lambda result: loop.call_soon_threadsafe(
+                _resolve, future.set_result, result
+            ),
+            error_callback=lambda exc: loop.call_soon_threadsafe(
+                _resolve, future.set_exception, exc
+            ),
+        )
+        return await future
+
+    async def _serve_request(
+        self, frame: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        rid = frame.get("id")
+        try:
+            key, stats = await self._submit(frame["job"])
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # job failure is a frame, not a dead daemon
+            reply = {"type": "error", "id": rid, "message": f"{type(exc).__name__}: {exc}"}
+        else:
+            if self.store is not None:
+                self.store.put(Job.from_dict(frame["job"]), stats)
+            reply = {"type": "result", "id": rid, "key": key, "stats": stats}
+            self.served += 1
+        try:
+            async with write_lock:
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-reply; it requeues the job on its side
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        try:
+            hello = await read_frame(reader)
+            if hello is None:
+                return
+            if (
+                hello.get("type") != "hello"
+                or hello.get("wire") != WIRE_SCHEMA
+                or hello.get("job_schema") != JOB_SCHEMA
+            ):
+                writer.write(encode_frame({
+                    "type": "error",
+                    "id": None,
+                    "message": f"schema mismatch: daemon speaks wire={WIRE_SCHEMA} "
+                               f"job_schema={JOB_SCHEMA}, got {hello!r}",
+                }))
+                await writer.drain()
+                return
+            writer.write(encode_frame({
+                "type": "hello",
+                "wire": WIRE_SCHEMA,
+                "job_schema": JOB_SCHEMA,
+                "workers": self.workers,
+            }))
+            await writer.drain()
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return  # client hung up; in-flight replies have nowhere to go
+                if frame["type"] != "run":
+                    raise RunnerError(f"unexpected frame type {frame['type']!r}")
+                task = asyncio.create_task(self._serve_request(frame, writer, write_lock))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        except (ConnectionError, RunnerError, asyncio.IncompleteReadError):
+            return  # one bad client must not take the daemon down
+        finally:
+            for task in inflight:
+                task.cancel()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def serve(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, ready=None):
+        """Listen forever; ``ready(host, bound_port)`` fires once bound."""
+        server = await asyncio.start_server(self._handle, host, port, limit=STREAM_LIMIT)
+        bound_port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready(host, bound_port)
+        async with server:
+            await server.serve_forever()
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 1,
+    store: ResultStore | None = None,
+    announce=print,
+) -> int:
+    """Blocking daemon entry point for the ``repro serve`` CLI verb.
+
+    The readiness line ("listening on HOST:PORT") goes to stdout *after* the
+    socket is bound, so callers (tests, CI, shell scripts) can start the
+    daemon with ``--port 0`` and parse the kernel-assigned port.
+    """
+    daemon = Daemon(workers=workers, store=store)
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        announce(
+            f"repro serve: listening on {bound_host}:{bound_port} "
+            f"({daemon.workers} workers"
+            + (f", cache={store.directory}" if store is not None else "")
+            + ")",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(daemon.serve(host, port, ready))
+    except KeyboardInterrupt:
+        announce(f"repro serve: stopped after {daemon.served} results", flush=True)
+    finally:
+        daemon.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Client backend
+# ----------------------------------------------------------------------
+class _BatchState:
+    """Shared dispatch state: one job queue, many host loops (one event loop)."""
+
+    def __init__(self, payloads: list[dict]) -> None:
+        self.queue: deque[tuple[int, dict]] = deque(enumerate(payloads))
+        self.remaining = len(payloads)
+        self.emitted: set[int] = set()
+        self.dead_hosts = 0
+        self.failure: BaseException | None = None
+        self.cond = asyncio.Condition()
+
+    def settled(self) -> bool:
+        return self.remaining == 0 or self.failure is not None
+
+
+@dataclass
+class RemoteBackend:
+    """Shards a batch's jobs across ``repro serve`` daemons over TCP.
+
+    Connections are per-batch (opened lazily in :meth:`run_batch`, torn down
+    when it finishes), so a daemon restarted between batches is picked up
+    transparently, and :meth:`close` has nothing persistent to release.
+    """
+
+    hosts: tuple[tuple[str, int], ...]
+    #: Max in-flight jobs per host.
+    window: int = DEFAULT_WINDOW
+    #: Reconnection attempts per host before it is declared dead...
+    connect_retries: int = 5
+    #: ...with linear backoff: attempt *n* sleeps ``n * retry_delay`` seconds.
+    retry_delay: float = 0.2
+
+    #: Job frames never carry trace bytes: daemons regenerate traces
+    #: deterministically from the payload, so the parent skips compiling them.
+    wants_traces = False
+    source = "remote"
+
+    def __post_init__(self) -> None:
+        self.hosts = parse_hosts(self.hosts)
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+
+    # ------------------------------------------------------------------
+    def run_batch(self, tasks: Iterable[Task]) -> Iterator[tuple[str, dict]]:
+        """Shard tasks across hosts; yields results as daemons return them.
+
+        The asyncio dispatcher runs on a helper thread so this stays an
+        ordinary synchronous iterator for the runner: results stream through
+        a queue and are yielded (and therefore persisted by the caller) the
+        moment each lands, not when the batch completes.
+        """
+        payloads = [payload for payload, _trace in tasks]
+        if not payloads:
+            return
+        results: queue.Queue = queue.Queue()
+        control: dict = {"ready": threading.Event()}
+        worker = threading.Thread(
+            target=self._dispatch_thread, args=(payloads, results, control), daemon=True
+        )
+        worker.start()
+        settled = False
+        try:
+            while True:
+                kind, value = results.get()
+                if kind == "result":
+                    yield value
+                else:
+                    settled = True
+                    if kind == "error":
+                        raise value
+                    return  # "done"
+        finally:
+            if not settled:
+                # The consumer abandoned the iterator mid-batch (Ctrl-C, a
+                # store failure...): poison the dispatcher so join() returns
+                # now instead of after the rest of the sweep completes.
+                # Wait for the dispatcher to publish its loop first - an
+                # abort in the brief startup window would otherwise no-op
+                # and leave join() waiting out the whole batch.  If the
+                # dispatcher died before signalling, join() returns anyway.
+                control["ready"].wait(timeout=5.0)
+                self._poison(control, RunnerError("result consumer aborted the batch"))
+            worker.join()
+
+    @staticmethod
+    def _poison(control: dict, exc: BaseException) -> None:
+        """Wake the dispatch loop with a failure, from any thread."""
+        loop = control.get("loop")
+        state = control.get("state")
+        if loop is None or loop.is_closed():
+            return
+
+        async def _set() -> None:
+            async with state.cond:
+                if state.failure is None:
+                    state.failure = exc
+                state.cond.notify_all()
+
+        with contextlib.suppress(RuntimeError):  # loop finished in between
+            asyncio.run_coroutine_threadsafe(_set(), loop)
+
+    def _dispatch_thread(
+        self, payloads: list[dict], results: queue.Queue, control: dict
+    ) -> None:
+        try:
+            asyncio.run(self._dispatch(payloads, results, control))
+        except BaseException as exc:  # surfaced on the consuming thread
+            results.put(("error", exc))
+        else:
+            results.put(("done", None))
+
+    async def _dispatch(
+        self, payloads: list[dict], results: queue.Queue, control: dict
+    ) -> None:
+        state = _BatchState(payloads)
+        control["loop"] = asyncio.get_running_loop()
+        control["state"] = state
+        control["ready"].set()
+        loops = [
+            asyncio.create_task(self._host_loop(host, state, results))
+            for host in self.hosts
+        ]
+        try:
+            async with state.cond:
+                await state.cond.wait_for(
+                    lambda: state.settled() or state.dead_hosts == len(self.hosts)
+                )
+        finally:
+            for task in loops:
+                task.cancel()
+            await asyncio.gather(*loops, return_exceptions=True)
+        if state.failure is not None:
+            raise state.failure
+        if state.remaining:
+            raise RunnerError(
+                f"all {len(self.hosts)} remote hosts failed with "
+                f"{state.remaining} jobs outstanding"
+            )
+
+    # ------------------------------------------------------------------
+    async def _host_loop(
+        self, host: tuple[str, int], state: _BatchState, results: queue.Queue
+    ) -> None:
+        """One host's lifecycle: connect -> pump window -> requeue on failure."""
+        name = f"{host[0]}:{host[1]}"
+        attempts = 0
+        while True:
+            async with state.cond:
+                # Don't burn a connection while there is nothing to do: wake
+                # on requeued work (another host died) or batch completion.
+                await state.cond.wait_for(lambda: state.queue or state.settled())
+                if state.settled():
+                    return
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(*host, limit=STREAM_LIMIT), timeout=10.0
+                )
+            except (OSError, asyncio.TimeoutError):
+                attempts += 1
+                if attempts > self.connect_retries:
+                    async with state.cond:
+                        state.dead_hosts += 1
+                        state.cond.notify_all()
+                    return
+                await asyncio.sleep(self.retry_delay * attempts)
+                continue
+            outstanding: dict[int, dict] = {}
+            served = [0]  # results this connection delivered (progress marker)
+            try:
+                await self._handshake(name, reader, writer)
+                await self._pump(reader, writer, state, outstanding, served, results)
+                return
+            except Exception as exc:  # CancelledError (BaseException) passes
+                if not isinstance(exc, (ConnectionError, OSError, EOFError,
+                                        asyncio.IncompleteReadError,
+                                        asyncio.TimeoutError)):
+                    # Protocol or job failure (including anything unexpected,
+                    # e.g. a malformed frame from a foreign daemon):
+                    # deterministic, poison the whole batch rather than hang.
+                    failure = exc if isinstance(exc, RunnerError) else RunnerError(
+                        f"{name}: {type(exc).__name__}: {exc}"
+                    )
+                    async with state.cond:
+                        state.failure = failure
+                        state.cond.notify_all()
+                    return
+                # Transport death mid-batch: hand this host's outstanding jobs
+                # back to the shared queue (front, to keep input order tight)
+                # and try to reconnect.  Only a connection that actually
+                # delivered results resets the retry budget - a handshake
+                # alone must not, or a crash-looping daemon could trap the
+                # client in an infinite requeue cycle with zero progress.
+                async with state.cond:
+                    for jid in sorted(outstanding, reverse=True):
+                        if jid not in state.emitted:
+                            state.queue.appendleft((jid, outstanding[jid]))
+                    state.cond.notify_all()
+                if served[0]:
+                    attempts = 0
+                attempts += 1
+                if attempts > self.connect_retries:
+                    async with state.cond:
+                        state.dead_hosts += 1
+                        state.cond.notify_all()
+                    return
+                await asyncio.sleep(self.retry_delay * attempts)
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+    async def _handshake(
+        self, name: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(encode_frame({
+            "type": "hello", "wire": WIRE_SCHEMA, "job_schema": JOB_SCHEMA,
+        }))
+        await writer.drain()
+        hello = await read_frame(reader)
+        if hello is None:
+            raise ConnectionError(f"{name}: daemon closed during handshake")
+        if hello.get("type") == "error":
+            raise RunnerError(f"{name}: {hello.get('message')}")
+        if hello.get("type") != "hello" or hello.get("job_schema") != JOB_SCHEMA:
+            raise RunnerError(f"{name}: incompatible daemon handshake: {hello!r}")
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        state: _BatchState,
+        outstanding: dict[int, dict],
+        served: list[int],
+        results: queue.Queue,
+    ) -> None:
+        """Keep the window full and drain result frames until the batch ends."""
+        while True:
+            async with state.cond:
+                to_send = []
+                while len(outstanding) < self.window and state.queue:
+                    jid, payload = state.queue.popleft()
+                    outstanding[jid] = payload
+                    to_send.append((jid, payload))
+                if not outstanding:
+                    if state.settled():
+                        return
+                    # Idle but the batch isn't done: another host still holds
+                    # jobs that may come back if it dies.  Sleep on the
+                    # condition instead of busy-polling the queue.
+                    await state.cond.wait()
+                    continue
+            for jid, payload in to_send:
+                writer.write(encode_frame({"type": "run", "id": jid, "job": payload}))
+            await writer.drain()
+            frame = await read_frame(reader)
+            if frame is None:
+                raise ConnectionError("daemon disconnected with jobs in flight")
+            ftype = frame.get("type")
+            if ftype == "error":
+                raise RunnerError(f"remote job failed: {frame.get('message')}")
+            if ftype != "result":
+                raise RunnerError(f"unexpected frame type {ftype!r}")
+            jid = frame.get("id")
+            if outstanding.pop(jid, None) is None:
+                continue  # stale duplicate after a requeue cycle; ignore
+            served[0] += 1
+            async with state.cond:
+                if jid not in state.emitted:
+                    state.emitted.add(jid)
+                    state.remaining -= 1
+                    results.put(("result", (frame["key"], frame["stats"])))
+                state.cond.notify_all()
+
+    def close(self) -> None:
+        """Connections are per-batch; nothing persistent to release."""

@@ -5,14 +5,18 @@ Examples::
     repro sweep                                  # Figure-11 grid, all workloads
     repro sweep --workloads radix tsp --pct 1 4 8 --workers 8
     repro sweep --protocols pct victim --json results.json
+    repro serve --port 8642 --workers 8          # execution daemon for remote sweeps
+    repro sweep --backend remote --hosts h1:8642,h2:8642
     repro cache info                             # result-cache contents
+    repro cache merge /mnt/hostb/.repro-cache    # fold a remote host's cache in
     repro cache clear                            # drop cached results
     repro figures --figure 11                    # delegate to repro-experiments
     repro trace stats out.traceb                 # delegate to repro-trace
 
 ``sweep`` expands a workload x protocol x PCT grid into jobs, executes them
-through the parallel runner with the on-disk result cache, and prints a table
-(or writes JSON).  A warm cache re-runs the whole grid with zero simulations.
+through the runner (in-process, worker pool, or sharded across ``repro
+serve`` daemons) with the on-disk result cache, and prints a table (or
+writes JSON).  A warm cache re-runs the whole grid with zero simulations.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ import sys
 import time
 
 from repro.common.errors import ReproError
+from repro.runner.backends import BACKEND_NAMES, make_backend
+from repro.runner.backends.remote import DEFAULT_PORT, DEFAULT_WINDOW
 from repro.runner.parallel import ParallelRunner, format_progress
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.runner.sweep import (
@@ -56,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
                        "sweep convention, PCT=1 is the baseline)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (default: 1 = in-process)")
+    sweep.add_argument("--backend", choices=BACKEND_NAMES, default="auto",
+                       help="execution backend (default: auto = remote when "
+                       "--hosts is given, else a process pool when "
+                       "--workers > 1, else in-process)")
+    sweep.add_argument("--hosts", default=None, metavar="H:P[,H:P...]",
+                       help="comma-separated repro-serve daemons to shard "
+                       "cache-miss jobs across (implies --backend remote)")
+    sweep.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                       help="max in-flight jobs per remote host "
+                       f"(default: {DEFAULT_WINDOW})")
     sweep.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
     sweep.add_argument("--cores", type=int, default=64)
     sweep.add_argument("--seed", type=int, default=0,
@@ -80,9 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
 
-    cache = sub.add_parser("cache", help="inspect, compact or clear the result cache")
-    cache.add_argument("action", choices=("info", "compact", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, compact, merge or clear the result cache"
+    )
+    cache.add_argument("action", choices=("info", "compact", "merge", "clear"))
+    cache.add_argument("source", nargs="?", default=None, metavar="OTHER-DIR",
+                       help="for merge: cache directory (e.g. a remote "
+                       "host's) to fold into --cache with last-entry-per-key "
+                       "semantics")
     cache.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run an execution daemon that serves sweep jobs over TCP",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; use 0.0.0.0 "
+                       "to serve other machines)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default: {DEFAULT_PORT}; 0 = "
+                       "kernel-assigned, printed on the readiness line)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="local worker processes behind this daemon")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="also persist served results in a server-side "
+                       "result cache (mergeable into a client's via "
+                       "'repro cache merge')")
 
     bench = sub.add_parser(
         "bench",
@@ -154,11 +193,22 @@ def _cmd_sweep(args) -> int:
         if not args.quiet:
             print(format_progress(done, total, job, source), file=sys.stderr)
 
-    runner = ParallelRunner(store=store, workers=args.workers, progress=progress)
+    backend = make_backend(
+        args.backend, workers=args.workers, hosts=args.hosts, window=args.window
+    )
     jobs = grid.jobs()
-    print(f"sweep: {grid.describe()}, workers={args.workers}", file=sys.stderr)
+    print(
+        f"sweep: {grid.describe()}, workers={args.workers}"
+        + (f", hosts={args.hosts}" if args.hosts else ""),
+        file=sys.stderr,
+    )
     start = time.time()
-    results = runner.run(jobs)
+    # The context manager closes the backend (pool / connections) on every
+    # path, including a sweep that raises mid-batch.
+    with ParallelRunner(
+        store=store, workers=args.workers, progress=progress, backend=backend
+    ) as runner:
+        results = runner.run(jobs)
     elapsed = time.time() - start
 
     rows = sweep_rows(jobs, results)
@@ -189,7 +239,25 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    if args.action != "merge" and args.source is not None:
+        print(f"error: cache {args.action} takes no source directory", file=sys.stderr)
+        return 2
     store = ResultStore(args.cache)
+    if args.action == "merge":
+        if args.source is None:
+            print("error: cache merge needs a source cache directory", file=sys.stderr)
+            return 2
+        if not ResultStore(args.source).path.exists():
+            # An empty source is indistinguishable from a typo'd path; a
+            # silent "0 entries folded" success would hide the mistake.
+            print(f"error: no result cache at {args.source}", file=sys.stderr)
+            return 1
+        merged, skipped = store.merge(args.source)
+        print(
+            f"merged {args.source} into {store.path}: "
+            f"{merged} entries folded, {skipped} already identical"
+        )
+        return 0
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} cached results from {store.path}")
@@ -231,6 +299,15 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.runner.backends.remote import serve_forever
+
+    store = ResultStore(args.cache) if args.cache else None
+    return serve_forever(
+        args.host, args.port, workers=args.workers, store=store
+    )
+
+
 def _cmd_trend(args) -> int:
     from repro.runner.trend import format_rows, run_trend, worst_regression
 
@@ -257,6 +334,7 @@ def _cmd_trend(args) -> int:
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "trend": _cmd_trend,
 }

@@ -1,46 +1,42 @@
-"""Parallel sweep execution: shard pending jobs across worker processes.
+"""Sweep orchestration: dedup, cache, backend dispatch, order reassembly.
 
 ``ParallelRunner`` turns a list of :class:`~repro.runner.job.Job` into a list
 of :class:`~repro.sim.stats.RunStats`:
 
 1. deduplicate jobs by content hash (figure sweeps share many points);
 2. satisfy what it can from the :class:`~repro.runner.store.ResultStore`;
-3. execute the remainder - in-process when ``workers <= 1``, else sharded
-   over a ``multiprocessing`` pool - and persist each result as it lands.
+3. dispatch the remainder to an :class:`~repro.runner.backends.ExecutionBackend`
+   - serial in-process, a spawn-safe ``multiprocessing`` pool, or remote
+   ``repro serve`` daemons - persisting each result as it lands;
+4. reassemble results in input order.
 
-Worker processes are **spawn-safe**: the pool is created from the ``spawn``
-context (the fork-unsafe-by-default world of macOS/Windows and of threaded
-parents), and workers receive only the serialized job payload.  Each worker
-rebuilds ``ArchConfig``/``ProtocolConfig``/``Simulator`` from that payload
-and regenerates the trace through the workload registry under
-``rng.seed_scope(job.seed)``, memoizing it per ``trace_key`` so a PCT sweep
-builds each trace once per worker, and deriving every random stream from the
-job itself - never from inherited process state (see DESIGN.md, "Runner and
-result cache").
+The runner is backend-agnostic: *what* executes a ``(payload, trace | None)``
+task lives in :mod:`repro.runner.backends`, and every backend returns the
+same ``RunStats.to_dict()`` payloads the cache persists, so serial, pooled,
+remote and cached executions of one job are bit-identical by construction.
 
-Results cross the process boundary as ``RunStats.to_dict()`` payloads - the
-exact representation the cache persists - and the serial path round-trips
-through the same representation, so serial, parallel, and cached executions
-of one job are bit-identical by construction.
+The runner is a context manager; prefer ``with ParallelRunner(...) as r:`` so
+the backend (worker pool, connections) is released even when a sweep raises
+mid-batch.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.common import rng
 from repro.common.errors import RunnerError
+from repro.runner.backends import ExecutionBackend, LocalBackend, ProcessBackend
+
+# Re-exported for compatibility: the trace memo and job kernel moved to
+# ``repro.runner.backends.local`` but remain part of this module's API.
+from repro.runner.backends.local import build_trace, execute_job  # noqa: F401
 from repro.runner.job import Job
 from repro.runner.store import ResultStore
-from repro.sim.multicore import Simulator
 from repro.sim.stats import RunStats
-from repro.workloads.base import Trace
-from repro.workloads.registry import load_workload
 
 #: Progress callback: (completed, total, job, source) with source one of
-#: "cache", "serial", "parallel".
+#: "cache", "serial", "parallel", "remote".
 ProgressFn = Callable[[int, int, Job, str], None]
 
 
@@ -48,90 +44,30 @@ def format_progress(done: int, total: int, job: Job, source: str) -> str:
     """The one progress-line format shared by every CLI/harness frontend."""
     return f"  [{done}/{total}] {job.describe()} ({source})"
 
-#: Per-process trace memo, keyed by ``Job.trace_key``.  In the parent it backs
-#: serial execution; in pool workers it persists across jobs for the lifetime
-#: of the worker process.  Bounded LRU: sweeps visit one trace's jobs in
-#: bursts, so a small window captures nearly all reuse while keeping ablations
-#: that span many arch variants (each variant = a distinct trace) from
-#: pinning every trace ever built for the process lifetime.
-_TRACE_CACHE: dict[str, Trace] = {}
-_TRACE_CACHE_MAX = 32
-
-
-def _memoize_trace(trace_key: str, trace: Trace) -> None:
-    """Install ``trace`` in the per-process memo (bounded LRU)."""
-    while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
-        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-    _TRACE_CACHE[trace_key] = trace
-
-
-def build_trace(job: Job) -> Trace:
-    """Regenerate ``job``'s trace deterministically (no process state).
-
-    The trace depends only on (workload, scale, seed, arch); ``seed_scope``
-    pins the salt for the duration of the build so concurrent sweeps with
-    different seeds cannot interleave incorrectly.
-    """
-    cached = _TRACE_CACHE.get(job.trace_key)
-    if cached is None:
-        with rng.seed_scope(job.seed):
-            cached = load_workload(job.workload, job.arch, scale=job.scale)
-        _memoize_trace(job.trace_key, cached)
-    else:
-        # Move to the back so hot traces survive eviction (dict = LRU order).
-        _TRACE_CACHE.pop(job.trace_key)
-        _TRACE_CACHE[job.trace_key] = cached
-    return cached
-
-
-def execute_job(job: Job) -> RunStats:
-    """Run one simulation point from scratch: trace + simulator from configs."""
-    simulator = Simulator(
-        job.arch, job.proto, energy=job.energy, warmup=job.warmup, verify=job.verify
-    )
-    return simulator.run(build_trace(job))
-
-
-def _worker_run(task: dict | tuple[dict, Trace | None]) -> tuple[str, dict]:
-    """Pool entry point: serialized (job, optional compiled trace) in,
-    (key, serialized stats) out.
-
-    The parent forwards the compiled columnar IR with each dispatched job -
-    pickled as raw ``array('q')`` buffers, a few contiguous blobs per trace
-    rather than a tuple graph - so workers never regenerate a trace the
-    parent already built.  A bare payload dict (no trace) is still accepted
-    for compatibility and triggers worker-side regeneration.
-    """
-    if isinstance(task, dict):  # legacy shape: regenerate in the worker
-        payload, trace = task, None
-    else:
-        payload, trace = task
-    job = Job.from_dict(payload)
-    if trace is not None and job.trace_key not in _TRACE_CACHE:
-        _memoize_trace(job.trace_key, trace)
-    return job.key, execute_job(job).to_dict()
-
 
 @dataclass
 class ParallelRunner:
-    """Executes job batches with caching, deduplication and worker sharding."""
+    """Executes job batches with caching, deduplication and backend sharding."""
 
     store: ResultStore | None = None
     workers: int = 1
     progress: ProgressFn | None = None
-    #: ``multiprocessing`` start method.  "spawn" works everywhere and proves
-    #: workers carry no inherited state; "fork" is faster where available.
+    #: ``multiprocessing`` start method for the default process backend.
+    #: "spawn" works everywhere and proves workers carry no inherited state;
+    #: "fork" is faster where available.
     start_method: str = "spawn"
+    #: Execution backend.  ``None`` picks the historical default from
+    #: ``workers``: a process pool when ``workers > 1``, else serial
+    #: in-process execution.  Passing a backend hands its lifetime to the
+    #: runner: :meth:`close` closes it.
+    backend: ExecutionBackend | None = None
 
     #: Simulations actually executed by this runner (cache misses).
     simulations: int = 0
 
-    #: Worker pool, created lazily on the first parallel batch and kept for
-    #: the runner's lifetime: a figure gallery submits one batch per figure,
-    #: and reusing the pool preserves both the spawn startup cost and each
-    #: worker's trace memo across batches.  Terminated by :meth:`close` (or
-    #: the pool's own GC finalizer; workers are daemonic either way).
-    _pool: object = field(default=None, init=False, repr=False, compare=False)
+    _backend: ExecutionBackend | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job] | Iterable[Job]) -> list[RunStats]:
@@ -165,10 +101,7 @@ class ParallelRunner:
                 pending.append(job)
 
         if pending:
-            if self.workers <= 1 or len(pending) == 1:
-                self._run_serial(pending, results, done, total)
-            else:
-                self._run_parallel(pending, results, done, total)
+            self._run_pending(pending, results, done, total)
 
         missing = [unique[k].describe() for k in unique if k not in results]
         if missing:
@@ -176,6 +109,45 @@ class ParallelRunner:
         return [results[job.key] for job in jobs]
 
     # ------------------------------------------------------------------
+    def _ensure_backend(self) -> ExecutionBackend:
+        if self._backend is None:
+            if self.backend is not None:
+                self._backend = self.backend
+            elif self.workers <= 1:
+                self._backend = LocalBackend()
+            else:
+                self._backend = ProcessBackend(
+                    workers=self.workers, start_method=self.start_method
+                )
+        return self._backend
+
+    def _run_pending(
+        self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
+    ) -> None:
+        backend = self._ensure_backend()
+        by_key = {job.key: job for job in pending}
+        wants_traces = getattr(backend, "wants_traces", False)
+
+        def tasks():
+            # In-process backends get each unique trace compiled once in the
+            # parent (memoized by trace_key) and shipped with the job as
+            # contiguous columnar buffers; lazy evaluation overlaps trace
+            # builds with execution.  The remote backend declines: daemons
+            # regenerate traces deterministically from the payload.
+            for job in pending:
+                yield job.to_dict(), (build_trace(job) if wants_traces else None)
+
+        try:
+            for key, payload in backend.run_batch(tasks()):
+                done = self._finish(
+                    by_key[key], payload, results, done, total, backend.source
+                )
+        except RunnerError:
+            raise
+        except Exception as exc:
+            self.close()
+            raise RunnerError(f"execution backend failed: {exc}") from exc
+
     def _finish(
         self,
         job: Job,
@@ -195,43 +167,16 @@ class ParallelRunner:
             self.progress(done, total, job, source)
         return done
 
-    def _run_serial(
-        self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
-    ) -> None:
-        for job in pending:
-            payload = execute_job(job).to_dict()
-            done = self._finish(job, payload, results, done, total, "serial")
-
-    def _run_parallel(
-        self, pending: list[Job], results: dict[str, RunStats], done: int, total: int
-    ) -> None:
-        by_key = {job.key: job for job in pending}
-
-        def tasks():
-            # Compile each unique trace once in the parent (memoized by
-            # trace_key) and ship the columnar IR with the job: pickling the
-            # IR is a handful of contiguous array-buffer copies, so workers
-            # receive a ready-to-run trace instead of regenerating it.
-            # Lazily evaluated as the pool consumes tasks, so trace builds
-            # overlap with worker execution.
-            for job in pending:
-                yield job.to_dict(), build_trace(job)
-
-        if self._pool is None:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(processes=self.workers)
-        try:
-            for key, payload in self._pool.imap_unordered(_worker_run, tasks()):
-                done = self._finish(by_key[key], payload, results, done, total, "parallel")
-        except RunnerError:
-            raise
-        except Exception as exc:  # worker crash: surface which engine failed
-            self.close()
-            raise RunnerError(f"worker pool failed: {exc}") from exc
-
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Terminate the worker pool (idempotent; a new one spawns on demand)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Close the execution backend (idempotent; respawns on demand)."""
+        backend = self._backend if self._backend is not None else self.backend
+        self._backend = None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

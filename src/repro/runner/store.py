@@ -17,10 +17,14 @@ a cache directory (default ``.repro-cache/``).  Properties:
 * **schema-versioned** - entries from an incompatible schema are ignored on
   load rather than misinterpreted.
 
-Only the coordinating process writes (workers hand results back to the
-parent), so no file locking is needed.  ``compact`` rewrites the whole log
-and therefore assumes the same single-writer discipline: run it while no
-sweep is appending.
+Appends are **multi-writer safe without locking**: each ``put`` is a single
+``O_APPEND`` ``os.write`` of one complete JSONL record, which POSIX appends
+atomically, so a ``repro serve`` daemon's store and a sweeping client's
+store may target the same directory and interleave whole lines, never
+fragments.  ``merge`` folds another cache directory's log into this one with
+last-entry-per-key semantics (remote hosts ship their ``results.jsonl``
+home).  ``compact`` rewrites the whole log and therefore still assumes a
+single writer: run it while no sweep or daemon is appending.
 """
 
 from __future__ import annotations
@@ -91,6 +95,28 @@ class ResultStore:
         self.hits += 1
         return RunStats.from_dict(record["stats"])
 
+    def _append(self, record: dict) -> None:
+        """Append one record as a single ``O_APPEND`` write.
+
+        One ``os.write`` on an ``O_APPEND`` descriptor is atomic on POSIX
+        local filesystems: concurrent appenders (a serving daemon and a
+        sweeping client sharing one cache directory) interleave whole lines,
+        never fragments, so no lock file is needed.
+        """
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            # Regular-file O_APPEND writes normally complete in one call;
+            # loop anyway so a short write (ENOSPC recovery, signal) can
+            # never leave a silent fragment for the next appender to
+            # concatenate onto.
+            view = memoryview(data)
+            while view:
+                view = view[os.write(fd, view):]
+        finally:
+            os.close(fd)
+
     def put(self, job: Job, stats: RunStats | dict) -> None:
         """Persist ``stats`` for ``job`` (appends one JSONL record)."""
         payload = stats.to_dict() if isinstance(stats, RunStats) else stats
@@ -102,10 +128,28 @@ class ResultStore:
             "stats": payload,
         }
         self._entries[job.key] = record
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._append(record)
         self.stores += 1
+
+    def merge(self, other: "ResultStore | str | os.PathLike") -> tuple[int, int]:
+        """Fold another cache's entries into this log (last-entry-per-key).
+
+        Entries whose key is absent locally - or present with a *different*
+        record - are appended here, so replaying the merged log keeps the
+        incoming entry (it is last).  Byte-identical entries are skipped.
+        Returns ``(merged, skipped)``.
+        """
+        if not isinstance(other, ResultStore):
+            other = ResultStore(other)
+        merged = skipped = 0
+        for key, record in other._entries.items():
+            if self._entries.get(key) == record:
+                skipped += 1
+                continue
+            self._entries[key] = record
+            self._append(record)
+            merged += 1
+        return merged, skipped
 
     # ------------------------------------------------------------------
     def jobs(self) -> list[dict]:

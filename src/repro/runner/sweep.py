@@ -4,10 +4,16 @@ The paper's evaluation is one big sweep; this module makes "add a config
 point" cost one entry in a grid instead of a hand-written loop.  Used by the
 ``repro sweep`` CLI verb and available as a library API::
 
-    from repro.runner import ParallelRunner, ResultStore, SweepGrid
+    from repro.runner import ParallelRunner, ResultStore, SweepGrid, make_backend
 
     grid = SweepGrid(workloads=("radix", "tsp"), pcts=(1, 2, 4, 8))
-    results = ParallelRunner(store=ResultStore(), workers=8).run(grid.jobs())
+    with ParallelRunner(store=ResultStore(), workers=8) as runner:
+        results = runner.run(grid.jobs())
+
+    # or sharded across `repro serve` daemons:
+    backend = make_backend("remote", hosts="hostA:8642,hostB:8642")
+    with ParallelRunner(store=ResultStore(), backend=backend) as runner:
+        results = runner.run(grid.jobs())
 """
 
 from __future__ import annotations

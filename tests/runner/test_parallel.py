@@ -14,8 +14,9 @@ import pytest
 
 from repro.common.params import baseline_protocol
 from repro.experiments.harness import adaptive_protocol, bench_arch
+from repro.runner.backends.local import run_task
 from repro.runner.job import Job
-from repro.runner.parallel import ParallelRunner, _worker_run, build_trace, execute_job
+from repro.runner.parallel import ParallelRunner, build_trace, execute_job
 from repro.runner.store import ResultStore
 from repro.sim.stats import RunStats
 
@@ -128,16 +129,16 @@ class TestWorkerDeterminism:
         job = _jobs()[0]
         context = multiprocessing.get_context("spawn")
         with context.Pool(1, initializer=_pollute_worker_state) as pool:
-            key, payload = pool.apply(_worker_run, (job.to_dict(),))
+            key, payload = pool.apply(run_task, ((job.to_dict(), None),))
         assert key == job.key
         assert json.dumps(payload, sort_keys=True) == _dumps(serial_results[0])
 
     def test_parent_ambient_state_does_not_leak_into_traces(self):
-        from repro.runner import parallel as parallel_mod
+        from repro.runner.backends import local as local_mod
 
         job = _jobs()[0]
         reference = build_trace(job).per_core
-        parallel_mod._TRACE_CACHE.clear()  # force a genuine rebuild
+        local_mod._TRACE_CACHE.clear()  # force a genuine rebuild
         random.seed(1234)  # deliberately pollute the parent
         rebuilt = build_trace(
             Job(workload=job.workload, proto=job.proto, arch=job.arch, scale=job.scale)
@@ -160,7 +161,7 @@ class TestWorkerDeterminism:
         local = execute_job(job)
         context = multiprocessing.get_context("spawn")
         with context.Pool(1, initializer=_pollute_worker_state) as pool:
-            _, payload = pool.apply(_worker_run, (job.to_dict(),))
+            _, payload = pool.apply(run_task, ((job.to_dict(), None),))
         assert json.dumps(payload, sort_keys=True) == _dumps(local)
 
 
@@ -188,14 +189,14 @@ class TestZeroCopyTraceDistribution:
     """The parent ships the compiled columnar IR with each dispatched job."""
 
     def test_worker_adopts_shipped_trace(self, serial_results):
-        from repro.runner import parallel as parallel_mod
+        from repro.runner.backends import local as local_mod
 
         job = _jobs()[0]
         trace = build_trace(job)
-        parallel_mod._TRACE_CACHE.clear()
+        local_mod._TRACE_CACHE.clear()
         context = multiprocessing.get_context("spawn")
         with context.Pool(1, initializer=_pollute_worker_state) as pool:
-            key, payload = pool.apply(_worker_run, ((job.to_dict(), trace),))
+            key, payload = pool.apply(run_task, ((job.to_dict(), trace),))
         assert key == job.key
         assert json.dumps(payload, sort_keys=True) == _dumps(serial_results[0])
 
@@ -219,6 +220,28 @@ class TestZeroCopyTraceDistribution:
             runner.close()
         for a, b in zip(serial_results, results):
             assert _dumps(a) == _dumps(b)
+
+
+class TestRunnerLifecycle:
+    """The runner is a context manager: the backend dies with the block."""
+
+    def test_with_block_closes_pool(self):
+        with ParallelRunner(workers=2) as runner:
+            runner.run(_jobs()[:2])
+            assert runner._backend is not None
+            assert runner._backend._pool is not None
+        assert runner._backend is None
+
+    def test_close_after_error_is_safe_and_reusable(self):
+        runner = ParallelRunner(workers=1)
+        with pytest.raises(Exception):
+            with runner:
+                runner.run([Job(workload="tsp", proto=baseline_protocol(),
+                                arch=bench_arch(16), scale="no-such-scale")])
+        # close() ran via __exit__; the runner still works afterwards.
+        stats = runner.run(_jobs()[:1])
+        assert stats[0].completion_time > 0
+        runner.close()
 
 
 class TestBenchVerb:

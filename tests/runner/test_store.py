@@ -164,6 +164,85 @@ class TestCompact:
         assert len(ResultStore(tmp_path)) == 2
 
 
+class TestConcurrentAppendersAndMerge:
+    def _other_job(self, job, pct=9):
+        return Job(workload=job.workload, proto=adaptive_protocol(pct),
+                   arch=job.arch, scale=job.scale)
+
+    def test_interleaved_writers_lose_nothing(self, tmp_path, job, stats):
+        """Two store instances (a daemon's and a client's) share one log."""
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        other = self._other_job(job)
+        a.put(job, stats)
+        b.put(other, stats)
+        a.put(self._other_job(job, pct=11), stats)
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 3
+        assert reopened.get(job) is not None
+        assert reopened.get(other) is not None
+
+    def test_put_appends_exactly_one_line(self, tmp_path, job, stats):
+        store = ResultStore(tmp_path)
+        store.put(job, stats)
+        raw = store.path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        json.loads(raw)  # the single line is one complete record
+
+    def test_merge_folds_remote_entries(self, tmp_path, job, stats):
+        local = ResultStore(tmp_path / "local")
+        local.put(job, stats)
+        remote = ResultStore(tmp_path / "remote")
+        other = self._other_job(job)
+        remote.put(job, stats)  # identical twin of the local entry
+        remote.put(other, stats)  # new to the local cache
+        merged, skipped = local.merge(tmp_path / "remote")
+        assert (merged, skipped) == (1, 1)
+        reopened = ResultStore(tmp_path / "local")
+        assert len(reopened) == 2
+        assert reopened.get(other).to_dict() == stats.to_dict()
+
+    def test_merge_last_entry_per_key_wins(self, tmp_path, job, stats):
+        local = ResultStore(tmp_path / "local")
+        local.put(job, stats)
+        remote = ResultStore(tmp_path / "remote")
+        doctored = stats.to_dict()
+        doctored["instructions"] += 1
+        remote.put(job, doctored)
+        merged, skipped = local.merge(remote)
+        assert (merged, skipped) == (1, 0)
+        # Replaying the merged log keeps the incoming (last) entry.
+        assert ResultStore(tmp_path / "local").get(job).instructions == (
+            stats.instructions + 1
+        )
+
+    def test_cli_cache_merge_verb(self, tmp_path, job, stats, capsys):
+        from repro.runner.cli import main as cli_main
+
+        ResultStore(tmp_path / "remote").put(job, stats)
+        rc = cli_main(["cache", "merge", str(tmp_path / "remote"),
+                       "--cache", str(tmp_path / "local")])
+        assert rc == 0
+        assert "1 entries folded" in capsys.readouterr().out
+        assert ResultStore(tmp_path / "local").get(job) is not None
+
+    def test_cli_cache_merge_requires_source(self, tmp_path, capsys):
+        from repro.runner.cli import main as cli_main
+
+        assert cli_main(["cache", "merge", "--cache", str(tmp_path)]) == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_cli_cache_merge_rejects_missing_source(self, tmp_path, capsys):
+        """A typo'd source path must fail loudly, not report '0 folded'."""
+        from repro.runner.cli import main as cli_main
+
+        rc = cli_main(["cache", "merge", str(tmp_path / "no-such-cache"),
+                       "--cache", str(tmp_path / "local")])
+        assert rc == 1
+        assert "no result cache" in capsys.readouterr().err
+
+
 class TestVerifiedEntries:
     def _twin(self, job, verify):
         return Job(workload=job.workload, proto=job.proto, arch=job.arch,
