@@ -91,6 +91,7 @@ class MeshNetwork:
         "_bcast_edges",
         "_flits_table",
         "_hop_latency",
+        "slot_recycles",
         "link_flit_traversals",
         "messages_sent",
         "flits_sent",
@@ -162,6 +163,10 @@ class MeshNetwork:
         self.link_flit_traversals = 0
         self.messages_sent = 0
         self.flits_sent = 0
+        #: Ring-buffer slots recycled for a newer epoch (telemetry counter:
+        #: how often the window wrapped past live occupancy; not part of
+        #: RunStats).  Incremented on the rare recycle branches only.
+        self.slot_recycles = 0
 
     # ------------------------------------------------------------------
     @property
@@ -228,6 +233,7 @@ class MeshNetwork:
         elif tag < epoch:
             # Recycle the slot for the newer epoch; the retired occupancy
             # stays exactly readable through the overflow dict.
+            self.slot_recycles += 1
             old = value & _SLOT_OCC_MASK
             if old:
                 self._overflow[(tag << self._link_bits) | link] = old
@@ -266,6 +272,7 @@ class MeshNetwork:
                 slots[slot] = value + flits
                 return t_head
             if flits <= EPOCH_CYCLES:
+                self.slot_recycles += 1
                 old = value & _SLOT_OCC_MASK
                 if old:
                     self._overflow[((value >> _SLOT_SHIFT) << self._link_bits) | link] = old
@@ -360,6 +367,7 @@ class MeshNetwork:
                         continue
                     # Stale slot: recycle it for this epoch (the retired
                     # occupancy stays readable through the overflow dict).
+                    self.slot_recycles += 1
                     old = value & _omask
                     if old:
                         self._overflow[
@@ -403,6 +411,7 @@ class MeshNetwork:
                     t_int += hop
                     continue
                 if claim_ok:
+                    self.slot_recycles += 1
                     old = value & _omask
                     if old:
                         overflow[((value >> _sshift) << link_bits) | link] = old

@@ -1,0 +1,34 @@
+"""``repro.obs``: structured telemetry for every layer of the repo.
+
+The introspection substrate (DESIGN.md section 10): span timers, monotonic
+counters and point events streamed to an append-only JSONL sink, threaded
+through the simulator, the mesh, the runner, the execution backends and the
+``repro serve`` daemon.  Enable with ``repro sweep --telemetry FILE`` or
+``REPRO_TELEMETRY=FILE`` (inherited by spawn-children, so one sink collects
+a whole distributed sweep); read with ``repro events FILE``; query a live
+daemon with ``repro serve-stats host:port``.
+
+With telemetry disabled every instrumentation site is a single attribute
+check and ``RunStats`` stay bit-identical - the neutrality contract the
+property suite pins.
+"""
+
+from repro.obs.core import (
+    EVENT_SCHEMA,
+    TELEMETRY,
+    TELEMETRY_ENV,
+    Telemetry,
+    enable_from_env,
+)
+from repro.obs.render import load_events, render_events, render_file
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "TELEMETRY",
+    "TELEMETRY_ENV",
+    "Telemetry",
+    "enable_from_env",
+    "load_events",
+    "render_events",
+    "render_file",
+]

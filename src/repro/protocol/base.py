@@ -199,6 +199,7 @@ class ProtocolEngineBase:
         net.link_flit_traversals = 0
         net.messages_sent = 0
         net.flits_sent = 0
+        net.slot_recycles = 0
         for ctrl in self.memsys.controllers.values():
             ctrl.requests = 0
             ctrl.bytes_transferred = 0

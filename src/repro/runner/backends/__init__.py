@@ -28,8 +28,10 @@ from repro.runner.backends.process import ProcessBackend
 from repro.runner.backends.remote import (
     DEFAULT_PORT,
     DEFAULT_WINDOW,
+    STATS_SCHEMA,
     Daemon,
     RemoteBackend,
+    fetch_stats,
     parse_hosts,
     serve_forever,
 )
@@ -95,6 +97,7 @@ __all__ = [
     "BACKEND_NAMES",
     "DEFAULT_PORT",
     "DEFAULT_WINDOW",
+    "STATS_SCHEMA",
     "Daemon",
     "ExecutionBackend",
     "LocalBackend",
@@ -103,6 +106,7 @@ __all__ = [
     "Task",
     "build_trace",
     "execute_job",
+    "fetch_stats",
     "make_backend",
     "parse_hosts",
     "run_task",

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator
 
 from repro.common import rng
 from repro.common.errors import RunnerError
+from repro.obs import TELEMETRY
 from repro.runner.job import Job
 from repro.sim.multicore import Simulator
 from repro.sim.stats import RunStats
@@ -59,8 +60,13 @@ def build_trace(job: Job) -> Trace:
     """
     cached = _TRACE_CACHE.get(job.trace_key)
     if cached is None:
-        with rng.seed_scope(job.seed):
-            cached = load_workload(job.workload, job.arch, scale=job.scale)
+        # span() is a no-op context when telemetry is disabled; a trace
+        # build costs seconds, so the check is free at this altitude.
+        with TELEMETRY.span(
+            "trace.build", workload=job.workload, scale=job.scale, seed=job.seed
+        ):
+            with rng.seed_scope(job.seed):
+                cached = load_workload(job.workload, job.arch, scale=job.scale)
         _memoize_trace(job.trace_key, cached)
     else:
         # Move to the back so hot traces survive eviction (dict = LRU order).
@@ -95,7 +101,14 @@ def run_task(task: Task) -> tuple[str, dict]:
     job = Job.from_dict(payload)
     if trace is not None and job.trace_key not in _TRACE_CACHE:
         _memoize_trace(job.trace_key, trace)
-    return job.key, execute_job(job).to_dict()
+    # The per-job execution span: emitted by whichever process runs the
+    # task (pool workers inherit REPRO_TELEMETRY through spawn), so the
+    # sink shows where each job actually executed.
+    with TELEMETRY.span(
+        "job.execute", key=job.key[:12], workload=job.workload,
+        protocol=job.proto.protocol,
+    ):
+        return job.key, execute_job(job).to_dict()
 
 
 class LocalBackend:

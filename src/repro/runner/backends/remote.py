@@ -43,13 +43,17 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import queue
+import socket
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.common.errors import ConfigError, RunnerError
+from repro.obs import TELEMETRY
 from repro.runner.backends.local import Task
 from repro.runner.backends.process import ProcessBackend
 from repro.runner.job import JOB_SCHEMA, Job
@@ -58,6 +62,12 @@ from repro.runner.store import ResultStore
 #: Bump when the frame grammar changes incompatibly.  Job payload
 #: compatibility is covered separately by ``job_schema`` in the handshake.
 WIRE_SCHEMA = 1
+
+#: Version of the daemon ``stats`` frame body (``repro serve-stats``); bumped
+#: when its fields change incompatibly, independent of the wire grammar.
+STATS_SCHEMA = 1
+
+log = logging.getLogger("repro.runner.remote")
 
 #: Default daemon port (unregistered range; override with ``--port``).
 DEFAULT_PORT = 8642
@@ -137,6 +147,34 @@ class Daemon:
         self.backend = ProcessBackend(workers=self.workers, start_method=start_method)
         #: Results served over the daemon's lifetime (for the shutdown line).
         self.served = 0
+        #: Live-introspection counters behind the ``stats`` wire frame.
+        self.errors = 0
+        self.active_jobs = 0
+        self.connections = 0
+        self.total_connections = 0
+        self._started = time.monotonic()
+
+    def stats_frame(self) -> dict:
+        """The ``stats`` reply body (the ``repro serve-stats`` payload).
+
+        Schema-versioned alongside the handshake: clients check
+        ``stats_schema`` before interpreting fields, exactly as the hello
+        frame pins ``wire``/``job_schema``.
+        """
+        return {
+            "type": "stats",
+            "stats_schema": STATS_SCHEMA,
+            "wire": WIRE_SCHEMA,
+            "job_schema": JOB_SCHEMA,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "workers": self.workers,
+            "served": self.served,
+            "errors": self.errors,
+            "active_jobs": self.active_jobs,
+            "connections": self.connections,
+            "total_connections": self.total_connections,
+            "caching": self.store is not None,
+        }
 
     # ------------------------------------------------------------------
     async def _submit(self, payload: dict) -> tuple[str, dict]:
@@ -163,17 +201,21 @@ class Daemon:
         self, frame: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         rid = frame.get("id")
+        self.active_jobs += 1
         try:
             key, stats = await self._submit(frame["job"])
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # job failure is a frame, not a dead daemon
+            self.errors += 1
             reply = {"type": "error", "id": rid, "message": f"{type(exc).__name__}: {exc}"}
         else:
             if self.store is not None:
                 self.store.put(Job.from_dict(frame["job"]), stats)
             reply = {"type": "result", "id": rid, "key": key, "stats": stats}
             self.served += 1
+        finally:
+            self.active_jobs -= 1
         try:
             async with write_lock:
                 writer.write(encode_frame(reply))
@@ -208,15 +250,28 @@ class Daemon:
                 "workers": self.workers,
             }))
             await writer.drain()
-            while True:
-                frame = await read_frame(reader)
-                if frame is None:
-                    return  # client hung up; in-flight replies have nowhere to go
-                if frame["type"] != "run":
-                    raise RunnerError(f"unexpected frame type {frame['type']!r}")
-                task = asyncio.create_task(self._serve_request(frame, writer, write_lock))
-                inflight.add(task)
-                task.add_done_callback(inflight.discard)
+            self.connections += 1
+            self.total_connections += 1
+            try:
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        return  # client hung up; in-flight replies have nowhere to go
+                    if frame["type"] == "stats":
+                        # Live introspection: answered inline (never queued
+                        # behind the pool), so a saturated daemon still
+                        # reports its stats promptly.
+                        async with write_lock:
+                            writer.write(encode_frame(self.stats_frame()))
+                            await writer.drain()
+                        continue
+                    if frame["type"] != "run":
+                        raise RunnerError(f"unexpected frame type {frame['type']!r}")
+                    task = asyncio.create_task(self._serve_request(frame, writer, write_lock))
+                    inflight.add(task)
+                    task.add_done_callback(inflight.discard)
+            finally:
+                self.connections -= 1
         except (ConnectionError, RunnerError, asyncio.IncompleteReadError):
             return  # one bad client must not take the daemon down
         finally:
@@ -274,6 +329,61 @@ def serve_forever(
 
 
 # ----------------------------------------------------------------------
+# Live daemon introspection (the `repro serve-stats` verb)
+# ----------------------------------------------------------------------
+def fetch_stats(host: str, port: int, timeout: float = 10.0) -> dict:
+    """Query one live daemon's ``stats`` frame (one-shot, synchronous).
+
+    Speaks the same handshake as :class:`RemoteBackend`, so schema refusal
+    and daemon identity checks behave identically; the reply is the
+    :meth:`Daemon.stats_frame` dict.  Raises
+    :class:`~repro.common.errors.RunnerError` on refusal or a malformed
+    peer, ``OSError`` on transport failure.
+    """
+    name = f"{host}:{port}"
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        fh = sock.makefile("rwb")
+        try:
+            fh.write(encode_frame({
+                "type": "hello", "wire": WIRE_SCHEMA, "job_schema": JOB_SCHEMA,
+            }))
+            fh.flush()
+            hello = _read_sync_frame(fh, name)
+            if hello.get("type") == "error":
+                raise RunnerError(f"{name}: {hello.get('message')}")
+            if hello.get("type") != "hello":
+                raise RunnerError(f"{name}: incompatible daemon handshake: {hello!r}")
+            fh.write(encode_frame({"type": "stats"}))
+            fh.flush()
+            frame = _read_sync_frame(fh, name)
+            if frame.get("type") != "stats":
+                raise RunnerError(f"{name}: expected a stats frame, got {frame!r}")
+            if frame.get("stats_schema") != STATS_SCHEMA:
+                raise RunnerError(
+                    f"{name}: stats schema {frame.get('stats_schema')!r}, "
+                    f"this client speaks {STATS_SCHEMA}"
+                )
+            return frame
+        finally:
+            fh.close()
+
+
+def _read_sync_frame(fh, name: str) -> dict:
+    """Blocking counterpart of :func:`read_frame` for one-shot queries."""
+    line = fh.readline()
+    if not line:
+        raise ConnectionError(f"{name}: daemon closed the connection")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RunnerError(f"{name}: malformed wire frame: {exc}") from exc
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise RunnerError(f"{name}: malformed wire frame: {line!r}")
+    return frame
+
+
+# ----------------------------------------------------------------------
 # Client backend
 # ----------------------------------------------------------------------
 class _BatchState:
@@ -313,10 +423,41 @@ class RemoteBackend:
     wants_traces = False
     source = "remote"
 
+    #: Per-host lifetime introspection, keyed ``"host:port"``:
+    #: ``{"completed", "requeued", "reconnects", "dead"}``.  Updated at every
+    #: failover decision and mirrored to telemetry counters per batch, so
+    #: dead-host debugging needs neither a packet capture nor a debugger.
+    host_stats: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         self.hosts = parse_hosts(self.hosts)
         if self.window < 1:
             raise ConfigError(f"window must be >= 1, got {self.window}")
+
+    def _host_entry(self, name: str) -> dict:
+        entry = self.host_stats.get(name)
+        if entry is None:
+            entry = self.host_stats[name] = {
+                "completed": 0, "requeued": 0, "reconnects": 0, "dead": False,
+            }
+        return entry
+
+    def _note_failover(self, event: str, host: str, attempts: int, **attrs) -> None:
+        """Record one failover decision: a log line + a telemetry event.
+
+        These paths used to swallow their causes inside ``except
+        (ConnectionError, OSError)`` - debugging a dead host meant a packet
+        capture.  Every decision now names the host, the attempt count and
+        the outstanding-job count.
+        """
+        level = logging.WARNING if event == "remote.host_dead" else logging.INFO
+        log.log(
+            level, "%s: %s (attempt %d/%d%s)", host, event.removeprefix("remote."),
+            attempts, self.connect_retries + 1,
+            "".join(f", {k}={v}" for k, v in attrs.items()),
+        )
+        if TELEMETRY.enabled:
+            TELEMETRY.event(event, host=host, attempts=attempts, **attrs)
 
     # ------------------------------------------------------------------
     def run_batch(self, tasks: Iterable[Task]) -> Iterator[tuple[str, dict]]:
@@ -394,6 +535,9 @@ class RemoteBackend:
         control["loop"] = asyncio.get_running_loop()
         control["state"] = state
         control["ready"].set()
+        #: host_stats snapshot: counters emitted per batch are deltas, so a
+        #: backend reused across batches (figure galleries) never double-counts.
+        base = {name: dict(entry) for name, entry in self.host_stats.items()}
         loops = [
             asyncio.create_task(self._host_loop(host, state, results))
             for host in self.hosts
@@ -407,6 +551,15 @@ class RemoteBackend:
             for task in loops:
                 task.cancel()
             await asyncio.gather(*loops, return_exceptions=True)
+            if TELEMETRY.enabled:
+                for name, entry in self.host_stats.items():
+                    before = base.get(name, {})
+                    for counter in ("completed", "requeued", "reconnects"):
+                        TELEMETRY.count(
+                            f"remote.{counter}",
+                            entry[counter] - before.get(counter, 0),
+                            host=name,
+                        )
         if state.failure is not None:
             raise state.failure
         if state.remaining:
@@ -421,6 +574,7 @@ class RemoteBackend:
     ) -> None:
         """One host's lifecycle: connect -> pump window -> requeue on failure."""
         name = f"{host[0]}:{host[1]}"
+        hs = self._host_entry(name)
         attempts = 0
         while True:
             async with state.cond:
@@ -433,9 +587,19 @@ class RemoteBackend:
                 reader, writer = await asyncio.wait_for(
                     asyncio.open_connection(*host, limit=STREAM_LIMIT), timeout=10.0
                 )
-            except (OSError, asyncio.TimeoutError):
+            except (OSError, asyncio.TimeoutError) as exc:
                 attempts += 1
+                hs["reconnects"] += 1
+                self._note_failover(
+                    "remote.connect_failed", name, attempts,
+                    outstanding=0, detail=f"{type(exc).__name__}: {exc}",
+                )
                 if attempts > self.connect_retries:
+                    hs["dead"] = True
+                    self._note_failover(
+                        "remote.host_dead", name, attempts,
+                        outstanding=len(state.queue),
+                    )
                     async with state.cond:
                         state.dead_hosts += 1
                         state.cond.notify_all()
@@ -446,7 +610,7 @@ class RemoteBackend:
             served = [0]  # results this connection delivered (progress marker)
             try:
                 await self._handshake(name, reader, writer)
-                await self._pump(reader, writer, state, outstanding, served, results)
+                await self._pump(reader, writer, state, outstanding, served, results, hs)
                 return
             except Exception as exc:  # CancelledError (BaseException) passes
                 if not isinstance(exc, (ConnectionError, OSError, EOFError,
@@ -468,15 +632,29 @@ class RemoteBackend:
                 # delivered results resets the retry budget - a handshake
                 # alone must not, or a crash-looping daemon could trap the
                 # client in an infinite requeue cycle with zero progress.
+                requeued = 0
                 async with state.cond:
                     for jid in sorted(outstanding, reverse=True):
                         if jid not in state.emitted:
                             state.queue.appendleft((jid, outstanding[jid]))
+                            requeued += 1
                     state.cond.notify_all()
                 if served[0]:
                     attempts = 0
                 attempts += 1
+                hs["requeued"] += requeued
+                hs["reconnects"] += 1
+                self._note_failover(
+                    "remote.requeue", name, attempts,
+                    outstanding=len(outstanding), requeued=requeued,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
                 if attempts > self.connect_retries:
+                    hs["dead"] = True
+                    self._note_failover(
+                        "remote.host_dead", name, attempts,
+                        outstanding=len(state.queue),
+                    )
                     async with state.cond:
                         state.dead_hosts += 1
                         state.cond.notify_all()
@@ -510,6 +688,7 @@ class RemoteBackend:
         outstanding: dict[int, dict],
         served: list[int],
         results: queue.Queue,
+        hs: dict,
     ) -> None:
         """Keep the window full and drain result frames until the batch ends."""
         while True:
@@ -542,6 +721,7 @@ class RemoteBackend:
             if outstanding.pop(jid, None) is None:
                 continue  # stale duplicate after a requeue cycle; ignore
             served[0] += 1
+            hs["completed"] += 1
             async with state.cond:
                 if jid not in state.emitted:
                     state.emitted.add(jid)

@@ -17,18 +17,28 @@ Examples::
 through the runner (in-process, worker pool, or sharded across ``repro
 serve`` daemons) with the on-disk result cache, and prints a table (or
 writes JSON).  A warm cache re-runs the whole grid with zero simulations.
+
+**Output discipline**: stdout carries only the machine-readable deliverable
+(tables, JSON, cache reports) and stays byte-stable for scripts; every
+diagnostic (progress lines, timing, errors) goes through the ``repro``
+logger to stderr.  ``-q``/``-v`` before the verb move the log level
+(WARNING / DEBUG); the default INFO renders bare messages, so default
+stderr output is unchanged from the historical ``print`` diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 import time
 
+from repro import obs
 from repro.common.errors import ReproError
 from repro.runner.backends import BACKEND_NAMES, make_backend
-from repro.runner.backends.remote import DEFAULT_PORT, DEFAULT_WINDOW
+from repro.runner.backends.remote import DEFAULT_PORT, DEFAULT_WINDOW, fetch_stats
 from repro.runner.parallel import ParallelRunner, format_progress
 from repro.runner.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.runner.sweep import (
@@ -42,6 +52,55 @@ from repro.runner.sweep import (
 )
 from repro.workloads.registry import WORKLOAD_NAMES
 
+log = logging.getLogger("repro")
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Logs to *the current* ``sys.stderr`` at emit time.
+
+    ``logging.StreamHandler`` binds the stream once at construction; tests
+    (and anything else that swaps ``sys.stderr``) need each record to land
+    on the stream active when it is emitted.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            print(self.format(record), file=sys.stderr)
+        except Exception:
+            self.handleError(record)
+
+
+_LOG_HANDLER: logging.Handler | None = None
+
+
+def setup_logging(verbosity: int = 0) -> None:
+    """Configure the ``repro`` logger tree (idempotent; level adjustable).
+
+    ``verbosity`` < 0 -> WARNING (``-q``), 0 -> INFO, > 0 -> DEBUG
+    (``-v``).  INFO records render as bare messages - byte-identical to the
+    ``print(..., file=sys.stderr)`` diagnostics they replace - while other
+    levels carry their level name as a prefix.
+    """
+    global _LOG_HANDLER
+    if _LOG_HANDLER is None:
+        _LOG_HANDLER = _DynamicStderrHandler()
+
+        class _BareInfo(logging.Formatter):
+            def format(self, record: logging.LogRecord) -> str:
+                if record.levelno == logging.INFO:
+                    return record.getMessage()
+                return f"{record.levelname.lower()}: {record.getMessage()}"
+
+        _LOG_HANDLER.setFormatter(_BareInfo())
+        log.addHandler(_LOG_HANDLER)
+        log.propagate = False
+    if verbosity < 0:
+        log.setLevel(logging.WARNING)
+    elif verbosity > 0:
+        log.setLevel(logging.DEBUG)
+    else:
+        log.setLevel(logging.INFO)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -49,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sweep execution engine for the locality-aware coherence "
         "protocol reproduction.",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on stderr (DEBUG level)")
+    parser.add_argument("-q", "--quiet", dest="log_quiet", action="store_true",
+                        help="only warnings and errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser("sweep", help="run a workload x protocol x PCT grid")
@@ -95,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "of a table")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    sweep.add_argument("--telemetry", metavar="FILE", default=None,
+                       help="append structured telemetry events (JSONL) to "
+                       "FILE; worker processes inherit the sink via "
+                       f"{obs.TELEMETRY_ENV}; render with 'repro events'")
 
     cache = sub.add_parser(
         "cache", help="inspect, compact, merge or clear the result cache"
@@ -144,6 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write the report as JSON to PATH")
 
+    events = sub.add_parser(
+        "events",
+        help="render a telemetry event file: span tree and top counters",
+    )
+    events.add_argument("file", help="JSONL sink written by --telemetry / "
+                        f"{obs.TELEMETRY_ENV}")
+    events.add_argument("--limit", type=int, default=20,
+                        help="rows per section (default 20)")
+
+    stats = sub.add_parser(
+        "serve-stats",
+        help="query live repro-serve daemons for their stats frame",
+    )
+    stats.add_argument("hosts", metavar="H:P[,H:P...]",
+                       help="daemons to query (same syntax as sweep --hosts)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit one JSON object per host instead of a table")
+    stats.add_argument("--timeout", type=float, default=10.0,
+                       help="per-host connect/read timeout in seconds")
+
     trend = sub.add_parser(
         "trend",
         help="diff bench reports or result-cache logs across revisions",
@@ -175,6 +262,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _cmd_sweep(args) -> int:
+    """Telemetry-scoping wrapper: the sink is open exactly for the sweep.
+
+    ``--telemetry`` enables the process-wide singleton and exports the sink
+    path so spawn-children (pool workers) inherit it; both are restored on
+    every exit path so an in-process caller (tests, notebooks) is not left
+    with a dangling sink.
+    """
+    if not args.telemetry:
+        return _run_sweep(args)
+    prior = os.environ.get(obs.TELEMETRY_ENV)
+    obs.TELEMETRY.enable(args.telemetry)
+    os.environ[obs.TELEMETRY_ENV] = args.telemetry
+    try:
+        return _run_sweep(args)
+    finally:
+        obs.TELEMETRY.disable()
+        if prior is None:
+            os.environ.pop(obs.TELEMETRY_ENV, None)
+        else:
+            os.environ[obs.TELEMETRY_ENV] = prior
+
+
+def _run_sweep(args) -> int:
     workloads = tuple(args.workloads) if args.workloads else WORKLOAD_NAMES
     grid = grid_from_args(
         workloads=workloads,
@@ -191,16 +301,16 @@ def _cmd_sweep(args) -> int:
 
     def progress(done: int, total: int, job, source: str) -> None:
         if not args.quiet:
-            print(format_progress(done, total, job, source), file=sys.stderr)
+            log.info(format_progress(done, total, job, source))
 
     backend = make_backend(
         args.backend, workers=args.workers, hosts=args.hosts, window=args.window
     )
     jobs = grid.jobs()
-    print(
-        f"sweep: {grid.describe()}, workers={args.workers}"
-        + (f", hosts={args.hosts}" if args.hosts else ""),
-        file=sys.stderr,
+    log.info(
+        "sweep: %s, workers=%s%s",
+        grid.describe(), args.workers,
+        f", hosts={args.hosts}" if args.hosts else "",
     )
     start = time.time()
     # The context manager closes the backend (pool / connections) on every
@@ -221,7 +331,7 @@ def _cmd_sweep(args) -> int:
         else:
             with open(args.json, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
-            print(f"wrote {args.json}: {len(rows)} rows", file=sys.stderr)
+            log.info("wrote %s: %d rows", args.json, len(rows))
     else:
         print(sweep_table(rows))
         if spread is not None:
@@ -230,27 +340,26 @@ def _cmd_sweep(args) -> int:
     cache_note = ""
     if store is not None:
         cache_note = f", cache: {store.hits} hits / {store.misses} misses"
-    print(
-        f"[{len(rows)} jobs in {elapsed:.1f}s, "
-        f"{runner.simulations} simulated{cache_note}]",
-        file=sys.stderr,
+    log.info(
+        "[%d jobs in %.1fs, %d simulated%s]",
+        len(rows), elapsed, runner.simulations, cache_note,
     )
     return 0
 
 
 def _cmd_cache(args) -> int:
     if args.action != "merge" and args.source is not None:
-        print(f"error: cache {args.action} takes no source directory", file=sys.stderr)
+        log.error("cache %s takes no source directory", args.action)
         return 2
     store = ResultStore(args.cache)
     if args.action == "merge":
         if args.source is None:
-            print("error: cache merge needs a source cache directory", file=sys.stderr)
+            log.error("cache merge needs a source cache directory")
             return 2
         if not ResultStore(args.source).path.exists():
             # An empty source is indistinguishable from a typo'd path; a
             # silent "0 entries folded" success would hide the mistake.
-            print(f"error: no result cache at {args.source}", file=sys.stderr)
+            log.error("no result cache at %s", args.source)
             return 1
         merged, skipped = store.merge(args.source)
         print(
@@ -282,8 +391,8 @@ def _cmd_bench(args) -> int:
         points = tuple((name, args.pct, args.family) for name in args.workloads)
     else:
         if args.family != "pct":
-            print("error: --family requires --workloads (the default bench "
-                  "points carry fixed families)", file=sys.stderr)
+            log.error("--family requires --workloads (the default bench "
+                      "points carry fixed families)")
             return 2
         points = DEFAULT_POINTS
     report = run_bench(
@@ -295,7 +404,7 @@ def _cmd_bench(args) -> int:
     )
     print(format_report(report))
     if args.json:
-        print(f"wrote {args.json}", file=sys.stderr)
+        log.info("wrote %s", args.json)
     return 0
 
 
@@ -321,14 +430,43 @@ def _cmd_trend(args) -> int:
             metric = "simulate_records_per_second"
         worst = worst_regression(rows, metric)
         if worst is not None:
-            print(
-                f"worst regression: {worst['key']} {worst['metric']} "
-                f"{worst['regression']:+.1%} (gate: {args.assert_within:.0%})",
-                file=sys.stderr,
+            log.info(
+                "worst regression: %s %s %+.1f%% (gate: %.0f%%)",
+                worst["key"], worst["metric"],
+                worst["regression"] * 100, args.assert_within * 100,
             )
         if code:
-            print("trend: REGRESSION beyond threshold", file=sys.stderr)
+            log.info("trend: REGRESSION beyond threshold")
     return code
+
+
+def _cmd_events(args) -> int:
+    print(obs.render_file(args.file, limit=args.limit))
+    return 0
+
+
+def _cmd_serve_stats(args) -> int:
+    from repro.runner.backends.remote import parse_hosts
+
+    failures = 0
+    for host, port in parse_hosts(args.hosts):
+        try:
+            stats = fetch_stats(host, port, timeout=args.timeout)
+        except (ReproError, OSError) as exc:
+            log.error("%s:%d unreachable: %s", host, port, exc)
+            failures += 1
+            continue
+        if args.json:
+            print(json.dumps({"host": host, "port": port, **stats}, sort_keys=True))
+        else:
+            print(
+                f"{host}:{port}  up {stats['uptime_s']:.0f}s  "
+                f"workers={stats['workers']}  served={stats['served']}  "
+                f"errors={stats['errors']}  active={stats['active_jobs']}  "
+                f"connections={stats['connections']}/{stats['total_connections']}  "
+                f"caching={'yes' if stats['caching'] else 'no'}"
+            )
+    return 1 if failures else 0
 
 
 _COMMANDS = {
@@ -337,6 +475,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "trend": _cmd_trend,
+    "events": _cmd_events,
+    "serve-stats": _cmd_serve_stats,
 }
 
 
@@ -351,13 +491,14 @@ def main(argv: list[str] | None = None) -> int:
 
         return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.log_quiet else args.verbose)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("%s", exc)
         return 1
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("%s", exc)
         return 1
 
 

@@ -22,10 +22,12 @@ mid-batch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.common.errors import RunnerError
+from repro.obs import TELEMETRY
 from repro.runner.backends import ExecutionBackend, LocalBackend, ProcessBackend
 
 # Re-exported for compatibility: the trace memo and job kernel moved to
@@ -99,6 +101,10 @@ class ParallelRunner:
                     self.progress(done, total, job, "cache")
             else:
                 pending.append(job)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("runner.jobs", len(jobs))
+            TELEMETRY.count("runner.cache.hits", done)
+            TELEMETRY.count("runner.cache.misses", len(pending))
 
         if pending:
             self._run_pending(pending, results, done, total)
@@ -127,6 +133,10 @@ class ParallelRunner:
         backend = self._ensure_backend()
         by_key = {job.key: job for job in pending}
         wants_traces = getattr(backend, "wants_traces", False)
+        #: Batch dispatch origin: each finished job reports its time since
+        #: this mark as queue-wait + execution (the only per-job latency a
+        #: backend-agnostic orchestrator can observe for pooled/remote jobs).
+        self._batch_started = time.perf_counter()
 
         def tasks():
             # In-process backends get each unique trace compiled once in the
@@ -138,10 +148,13 @@ class ParallelRunner:
                 yield job.to_dict(), (build_trace(job) if wants_traces else None)
 
         try:
-            for key, payload in backend.run_batch(tasks()):
-                done = self._finish(
-                    by_key[key], payload, results, done, total, backend.source
-                )
+            with TELEMETRY.span(
+                "runner.batch", jobs=len(pending), backend=backend.source
+            ):
+                for key, payload in backend.run_batch(tasks()):
+                    done = self._finish(
+                        by_key[key], payload, results, done, total, backend.source
+                    )
         except RunnerError:
             raise
         except Exception as exc:
@@ -163,6 +176,14 @@ class ParallelRunner:
         results[job.key] = RunStats.from_dict(payload)
         self.simulations += 1
         done += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.event(
+                "runner.job_done",
+                key=job.key[:12],
+                workload=job.workload,
+                source=source,
+                wait_s=round(time.perf_counter() - self._batch_started, 6),
+            )
         if self.progress is not None:
             self.progress(done, total, job, source)
         return done

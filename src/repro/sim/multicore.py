@@ -36,6 +36,7 @@ from repro.common.errors import SimulationError
 from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
 from repro.common.types import Op
 from repro.energy.model import EnergyModel
+from repro.obs import TELEMETRY
 from repro.protocol.base import ProtocolEngineBase
 from repro.protocol.engine import make_engine
 from repro.sim.stats import LatencyBreakdown, RunStats
@@ -66,6 +67,10 @@ class Simulator:
         self.energy_model = EnergyModel(energy if energy is not None else EnergyConfig())
         self.verify = verify
         self.warmup = warmup
+        # Scheduler fast-path hit counts of the most recent _execute pass
+        # (telemetry snapshot inputs; not part of RunStats).
+        self._fast_read_hits = 0
+        self._fast_write_hits = 0
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> RunStats:
@@ -85,31 +90,82 @@ class Simulator:
                 f"architecture has {arch.num_cores}"
             )
         engine = make_engine(arch, self.proto, verify=self.verify)
+        # Telemetry is per *phase*, never per record: with the sink disabled
+        # this is one attribute check per run, and with it enabled the hot
+        # loops below are untouched - RunStats stay bit-identical either way
+        # (the neutrality property test pins this).
+        tel = TELEMETRY if TELEMETRY.enabled else None
+        run_span = 0
+        if tel is not None:
+            run_span = tel.begin(
+                "sim.run",
+                benchmark=trace.name,
+                protocol=self.proto.protocol,
+                cores=arch.num_cores,
+                records=trace.total_records,
+            )
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
             clocks = [0.0] * arch.num_cores
             if self.warmup:
+                phase = tel.begin("sim.phase.warmup") if tel is not None else 0
                 warm_bd = [LatencyBreakdown() for _ in range(arch.num_cores)]
                 clocks = self._execute(engine, trace, clocks, warm_bd)
                 engine.reset_stats()
+                if tel is not None:
+                    tel.end(phase)
             measure_start = max(clocks) if clocks else 0.0
+            phase = tel.begin("sim.phase.simulate") if tel is not None else 0
             breakdowns = [LatencyBreakdown() for _ in range(arch.num_cores)]
             clocks = self._execute(engine, trace, clocks, breakdowns)
             completion = (max(clocks) if clocks else 0.0) - measure_start
+            if tel is not None:
+                tel.end(phase)
             if self.verify:
+                phase = tel.begin("sim.phase.verify") if tel is not None else 0
                 # Beyond the per-access golden checks: no write may be lost
                 # even if the trace never re-reads it.
                 engine.check_final_state()
+                if tel is not None:
+                    tel.end(phase)
         finally:
             if gc_was_enabled:
                 gc.enable()
+            if tel is not None:
+                self._emit_run_telemetry(tel, engine)
+                tel.end(run_span)
         #: The engine of the most recent run, kept for post-run inspection
         #: (the trace-level differential harness compares golden memories
         #: across protocol families after full simulations).
         self.last_engine = engine
         return self._collect(trace, engine, completion, breakdowns)
+
+    # ------------------------------------------------------------------
+    def _emit_run_telemetry(self, tel, engine: ProtocolEngineBase) -> None:
+        """Counter snapshot of the measured pass (the internal rates the
+        paper's claims rest on: fast-path hits, classification mix, mesh
+        slot recycling).  Counters are increments, so concurrent runs in
+        one process sum cleanly at render time."""
+        miss = engine.miss_stats
+        tel.count("sim.l1d.accesses", miss.accesses)
+        tel.count("sim.l1d.hits", miss.hits)
+        tel.count("sim.fastpath.read_hits", self._fast_read_hits)
+        tel.count("sim.fastpath.write_hits", self._fast_write_hits)
+        classifier = engine.classifier
+        if classifier is not None:
+            tel.count("classifier.promotions", classifier.promotions)
+            tel.count("classifier.demotions", classifier.demotions)
+            tel.count("classifier.remote_accesses", classifier.remote_accesses)
+            tel.count("classifier.vote_decisions", classifier.vote_decisions)
+        network = engine.network
+        tel.count("mesh.messages", network.messages_sent)
+        tel.count("mesh.flits", network.flits_sent)
+        tel.count("mesh.link_flit_traversals", network.link_flit_traversals)
+        tel.count("mesh.slot_recycles", network.slot_recycles)
+        tel.count("mesh.overflow_entries", len(network._overflow))
+        tel.count("dram.requests", engine.memsys.total_requests)
 
     # ------------------------------------------------------------------
     def _execute(
@@ -396,10 +452,10 @@ class Simulator:
                 sync_cb(core, clocks[core])
         for core in range(num_cores):
             breakdowns[core].compute += compute[core]
+        reads = 0
+        writes = 0
         if fast is not None:
             l1s = fast["l1s"]
-            reads = 0
-            writes = 0
             for core in range(num_cores):
                 r, w = hits_r[core], hits_w[core]
                 l1s[core].hits += r + w
@@ -408,6 +464,10 @@ class Simulator:
             engine.miss_stats.hits += reads + writes
             engine.energy.l1d_reads += reads
             engine.energy.l1d_writes += writes
+        # Scheduler fast-path hit counts of the most recent execution, read
+        # by the telemetry snapshot (two attribute stores; no stats impact).
+        self._fast_read_hits = reads
+        self._fast_write_hits = writes
         return clocks
 
     # ------------------------------------------------------------------

@@ -40,7 +40,13 @@ from repro.runner.backends import (
     parse_hosts,
     run_task,
 )
-from repro.runner.backends.remote import JOB_SCHEMA, WIRE_SCHEMA, encode_frame
+from repro.runner.backends.remote import (
+    JOB_SCHEMA,
+    STATS_SCHEMA,
+    WIRE_SCHEMA,
+    encode_frame,
+    fetch_stats,
+)
 from repro.runner.job import Job
 from repro.runner.parallel import ParallelRunner
 
@@ -422,3 +428,40 @@ class TestServerSideStore:
         for job in jobs:
             stats = local.get(job)
             assert json.dumps(stats.to_dict(), sort_keys=True) == reference[job.key]
+
+
+# ----------------------------------------------------------------------
+class TestStatsFrame:
+    """The daemon introspection frame: ``repro serve-stats`` wire contract."""
+
+    def test_stats_frame_round_trips(self, daemons):
+        host, port = daemons[0]
+        stats = fetch_stats(host, port)
+        assert stats["type"] == "stats"
+        assert stats["stats_schema"] == STATS_SCHEMA
+        assert stats["wire"] == WIRE_SCHEMA
+        assert stats["job_schema"] == JOB_SCHEMA
+        assert stats["workers"] == 1
+        assert stats["caching"] is False
+        assert stats["uptime_s"] >= 0
+        assert stats["active_jobs"] == 0
+        # The stats query itself is a live connection.
+        assert stats["connections"] >= 1
+        assert stats["total_connections"] >= stats["connections"]
+
+    def test_served_count_advances_with_work(self, daemons):
+        host, port = daemons[0]
+        before = fetch_stats(host, port)["served"]
+        backend = RemoteBackend(hosts=((host, port),), window=2)
+        results = dict(backend.run_batch(_tasks(_jobs()[:2])))
+        assert len(results) == 2
+        after = fetch_stats(host, port)
+        assert after["served"] >= before + 2
+        assert after["errors"] == 0  # valid jobs only in this module
+
+    def test_dead_host_raises(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(OSError):
+            fetch_stats("127.0.0.1", free_port, timeout=2.0)
