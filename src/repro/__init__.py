@@ -23,7 +23,12 @@ from repro.common import (
     SharerMode,
     baseline_protocol,
 )
-from repro.common.params import dls_protocol, neat_protocol, victim_replication_protocol
+from repro.common.params import (
+    dls_protocol,
+    neat_protocol,
+    phase_protocol,
+    victim_replication_protocol,
+)
 from repro.runner import Job, ParallelRunner, ResultStore, SweepGrid
 from repro.sim import RunStats, Simulator
 from repro.workloads import WORKLOAD_NAMES, load_workload
@@ -53,6 +58,7 @@ __all__ = [
     "load_trace",
     "load_workload",
     "neat_protocol",
+    "phase_protocol",
     "save_trace",
     "victim_replication_protocol",
 ]

@@ -216,7 +216,7 @@ class ArchConfig:
 
 
 #: Every selectable coherence protocol family, in presentation order.
-PROTOCOL_NAMES: tuple[str, ...] = ("baseline", "adaptive", "victim", "dls", "neat")
+PROTOCOL_NAMES: tuple[str, ...] = ("baseline", "adaptive", "victim", "dls", "neat", "phase")
 
 #: Families that keep no sharer-tracking directory at the home.
 DIRECTORYLESS_PROTOCOLS: frozenset[str] = frozenset({"dls", "neat"})
@@ -237,6 +237,21 @@ _DIRECTORYLESS_CANONICAL: dict[str, object] = {
     "directory": "none",
 }
 
+#: Canonical values pinned onto ``protocol="phase"`` configs: the phase
+#: protocol keeps a sharer-tracking directory (``directory`` stays
+#: selectable) but replaces the utilization classifier with per-line phase
+#: tracking, so the PCT/classifier knobs are inert and normalized away.
+_PHASE_CANONICAL: dict[str, object] = {
+    "pct": 1,
+    "classifier": "limited",
+    "limited_k": 3,
+    "remote_policy": "rat",
+    "rat_max": 16,
+    "n_rat_levels": 2,
+    "one_way": False,
+    "complete_vote_init": False,
+}
+
 
 @dataclass(frozen=True)
 class ProtocolConfig:
@@ -255,6 +270,9 @@ class ProtocolConfig:
     #: the Victim Replication comparison point (Section 2.1): baseline
     #: directory protocol + local-L2 victim caching of L1 evictions.
     #: "dls" / "neat" = the related-work comparison baselines above.
+    #: "phase" = phase-priority directory coherence (arXiv 1305.3038): the
+    #: directory machinery of "baseline" with a per-line access-phase
+    #: classifier choosing between private line grants and word service.
     protocol: str = "adaptive"
 
     #: Private Caching Threshold (Section 3.5). Utilization >= pct keeps a
@@ -328,6 +346,12 @@ class ProtocolConfig:
             # and equivalent configs share one job content hash.
             for name, value in _DIRECTORYLESS_CANONICAL.items():
                 object.__setattr__(self, name, value)
+        elif self.protocol == "phase":
+            # Phase-priority coherence classifies by per-line access phase,
+            # not by utilization: the classifier knobs are inert, the
+            # directory choice (ackwise/fullmap) stays live.
+            for name, value in _PHASE_CANONICAL.items():
+                object.__setattr__(self, name, value)
 
     @property
     def is_adaptive(self) -> bool:
@@ -397,6 +421,17 @@ def dls_protocol() -> ProtocolConfig:
     Every access is a word-granularity access at the R-NUCA home slice; no
     private caching, no sharer tracking, no invalidations."""
     return ProtocolConfig(protocol="dls", pct=1, directory="none")
+
+
+def phase_protocol(directory: str = "ackwise") -> ProtocolConfig:
+    """Phase-priority directory coherence (PAPERS.md, arXiv 1305.3038).
+
+    A directory protocol whose service policy follows the line's current
+    access *phase*: lines in a write-shared phase are pinned at the home and
+    serviced with word accesses (reads and writes), read-shared and private
+    phases hand out private copies as usual.  Phases decay back toward
+    private across release epochs."""
+    return ProtocolConfig(protocol="phase", pct=1, directory=directory)
 
 
 def neat_protocol(downgrade: str = "eager") -> ProtocolConfig:

@@ -396,22 +396,29 @@ def victim_replication_comparison(runner: ExperimentRunner) -> FigureResult:
 
 
 # ----------------------------------------------------------------------
-# Extension: five-way protocol-family comparison (ROADMAP baselines).
+# Extension: six-way protocol-family comparison (ROADMAP baselines).
 # ----------------------------------------------------------------------
 def protocol_families_comparison(runner: ExperimentRunner) -> FigureResult:
-    """All five protocol families side by side, normalized to the baseline.
+    """All six protocol families side by side, normalized to the baseline.
 
     One column pair (completion time, energy) per family: the paper's
     ACKwise directory baseline (the anchor), Victim Replication
     (Section 2.1), DLS (directoryless shared LLC - every access a word
-    round-trip to the home) and Neat (self-invalidation/self-downgrade
-    without sharer tracking) from PAPERS.md, and the locality-aware
-    adaptive protocol at the paper's optimum PCT=4.  The expected shape:
-    DLS wins only where R-NUCA keeps homes local, Neat pays write-through
-    traffic on store-heavy sharing, and the adaptive protocol tracks the
-    best of both per line.
+    round-trip to the home), Neat (self-invalidation/self-downgrade
+    without sharer tracking) and phase-priority directory coherence
+    (write-shared lines pinned at the home) from PAPERS.md, and the
+    locality-aware adaptive protocol at the paper's optimum PCT=4.  The
+    expected shape: DLS wins only where R-NUCA keeps homes local, Neat
+    pays write-through traffic on store-heavy sharing, phase sits between
+    the baseline and the adaptive protocol on migratory data, and the
+    adaptive protocol tracks the best per line.
     """
-    from repro.common.params import dls_protocol, neat_protocol, victim_replication_protocol
+    from repro.common.params import (
+        dls_protocol,
+        neat_protocol,
+        phase_protocol,
+        victim_replication_protocol,
+    )
 
     title = "Protocol families: completion time & energy (normalized to baseline)"
     families: list[tuple[str, ProtocolConfig]] = [
@@ -419,6 +426,7 @@ def protocol_families_comparison(runner: ExperimentRunner) -> FigureResult:
         ("victim", victim_replication_protocol()),
         ("dls", dls_protocol()),
         ("neat", neat_protocol()),
+        ("phase", phase_protocol()),
         ("adaptive", adaptive_protocol()),
     ]
     runner.prefetch((n, proto) for n in runner.workloads for _, proto in families)

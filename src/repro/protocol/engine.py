@@ -9,7 +9,8 @@ The engine itself lives in per-family modules:
 * :mod:`repro.protocol.victim` - Victim Replication (directory + local-L2
   victim caching);
 * :mod:`repro.protocol.dls` - directoryless shared LLC;
-* :mod:`repro.protocol.neat` - self-invalidation/self-downgrade coherence.
+* :mod:`repro.protocol.neat` - self-invalidation/self-downgrade coherence;
+* :mod:`repro.protocol.phase` - phase-priority directory coherence.
 
 :func:`make_engine` maps ``ProtocolConfig.protocol`` to the family class;
 ``ProtocolEngine`` remains the name of the directory engine, which predates
@@ -25,6 +26,7 @@ from repro.protocol.base import AccessResult, ProtocolEngineBase
 from repro.protocol.directory import DirectoryEngine
 from repro.protocol.dls import DLSEngine
 from repro.protocol.neat import NeatEngine
+from repro.protocol.phase import PhaseEngine
 from repro.protocol.victim import VictimReplicationEngine
 
 #: Backward-compatible name: the directory engine (baseline/adaptive).
@@ -37,6 +39,7 @@ ENGINE_CLASSES: dict[str, type[ProtocolEngineBase]] = {
     "victim": VictimReplicationEngine,
     "dls": DLSEngine,
     "neat": NeatEngine,
+    "phase": PhaseEngine,
 }
 
 
@@ -57,6 +60,7 @@ __all__ = [
     "DLSEngine",
     "DirectoryEngine",
     "NeatEngine",
+    "PhaseEngine",
     "ProtocolEngine",
     "ProtocolEngineBase",
     "VictimReplicationEngine",

@@ -362,10 +362,17 @@ class NeatEngine(ProtocolEngineBase):
             bits >>= 1
             word += 1
         self.write_throughs += 1  # one downgrade message per flushed line
-        version = self._line_version.get(line, 0) + 1
+        old_version = self._line_version.get(line, 0)
+        version = old_version + 1
         self._line_version[line] = version
-        if entry is not None:
-            # The writer's copy is exactly the flushed image: still fresh.
+        if entry is not None and self._copy_version[core].get(line) == old_version:
+            # The writer's copy was fresh up to this flush, so it is exactly
+            # the flushed image: still fresh.  A copy that went stale before
+            # the flush (another core's flush intervened after our fetch)
+            # must STAY stale - its non-pending words predate that flush,
+            # and revalidating it here would resurrect them.  Found by the
+            # exhaustive tier: W0(w0) W1(w4) flush0 flush1 R1(w0) read 0
+            # where w0 held core 0's store.
             self._copy_version[core][line] = version
         l2line.busy_until = t_at_home
         slice_.touch(l2line, t_at_home)

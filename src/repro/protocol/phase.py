@@ -1,0 +1,263 @@
+"""Phase-priority directory coherence (Li & An, arXiv 1305.3038; PAPERS.md).
+
+The phase-priority idea: a directory line's service policy should follow the
+line's current *access phase* rather than a per-sharer utilization estimate.
+The engine tracks one of three phases per line at the home:
+
+* **PRIVATE** - one core is accessing the line; classic directory service
+  (full line grants, E/M states, invalidation rounds on writes).
+* **READ_SHARED** - several cores read the line; still serviced with line
+  grants (read copies are harmless), but the phase records that the line is
+  actively shared so a subsequent write promotes it straight to
+  WRITE_SHARED.
+* **WRITE_SHARED** - the line migrates between writers; it is pinned at the
+  home and every access (read or write) is serviced as a word access there,
+  exactly the "remote sharer" service of the locality-aware protocol.  A
+  write entering this phase first runs the normal invalidation round, so the
+  single-writer/multiple-reader invariant is preserved and the home copy is
+  authoritative from then on.
+
+Modeling substitutions (documented in DESIGN.md section 11; the source paper
+describes a NoC-priority mechanism, not a full protocol table, so this is a
+behavioural interpretation behind the common ``ProtocolEngine`` interface):
+
+* **Phase detection is at the home, on misses.**  A miss by a core other
+  than the line's last accessor promotes PRIVATE -> READ_SHARED (reads) or
+  any phase -> WRITE_SHARED (writes that find other private sharers or a
+  different last accessor).  Same-core streaks never promote.
+* **Phases decay at release epochs.**  One epoch is ``num_cores`` release
+  boundaries (unlock/barrier completions, counted through
+  :meth:`sync_boundary_hook`).  A line untouched for ``k`` full epochs
+  decays ``k`` phase levels on its next access, so data that stops being
+  write-shared eventually earns private copies again.  Decay is lazy (at
+  the next touch), costing no sweep.
+* **Timing reuses the directory machinery unchanged**: line grants, the
+  invalidation round, the synchronous write-back and the word access at the
+  home are the same paths (and latencies) the baseline/adaptive families
+  use, so the family comparison isolates the phase *policy*.
+
+Functional verification runs unchanged: WRITE_SHARED word writes follow an
+invalidation round (SWMR holds), word accesses use the shared golden-checked
+home service, and the base :meth:`final_line_value` authority order (MODIFIED
+L1 > home L2 > DRAM) remains correct because the directory semantics are
+untouched.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import MissType, SharerMode
+from repro.protocol.base import (
+    _EVER_CACHED,
+    _EVER_REMOTE,
+    _LAST_REMOVAL_INVAL,
+    AccessResult,
+)
+from repro.protocol.directory import (
+    _READ_REQ,
+    _UPGRADE_REQ,
+    _WRITE_REQ,
+    DirectoryEngine,
+)
+
+# Line phases, ordered so decay is a subtraction.
+PHASE_PRIVATE = 0
+PHASE_READ_SHARED = 1
+PHASE_WRITE_SHARED = 2
+
+_PRIVATE_MODE = SharerMode.PRIVATE
+_REMOTE_MODE = SharerMode.REMOTE
+
+
+class PhaseEngine(DirectoryEngine):
+    """Directory engine with phase-priority service policy."""
+
+    __slots__ = (
+        "_line_phase",
+        "_epoch",
+        "_release_count",
+        "_releases_per_epoch",
+        "phase_promotions",
+        "phase_demotions",
+        "phase_word_accesses",
+    )
+
+    def __init__(self, arch, proto, verify: bool = False) -> None:
+        super().__init__(arch, proto, verify)
+        #: line -> [phase, last accessing core, epoch of last phase change].
+        self._line_phase: dict[int, list[int]] = {}
+        self._epoch = 0
+        self._release_count = 0
+        self._releases_per_epoch = arch.num_cores
+        # Statistics.
+        self.phase_promotions = 0
+        self.phase_demotions = 0
+        self.phase_word_accesses = 0
+
+    def reset_stats(self) -> None:
+        """Also zero the phase counters for warmup/measure runs."""
+        super().reset_stats()
+        self.phase_promotions = 0
+        self.phase_demotions = 0
+        self.phase_word_accesses = 0
+
+    def export_stats(self, stats) -> None:
+        stats.phase_promotions = self.phase_promotions
+        stats.phase_demotions = self.phase_demotions
+        stats.phase_word_accesses = self.phase_word_accesses
+
+    # ------------------------------------------------------------------
+    # Release epochs drive phase decay.
+    # ------------------------------------------------------------------
+    def _on_release(self, core: int, t: float) -> None:
+        self._release_count += 1
+        self._epoch = self._release_count // self._releases_per_epoch
+
+    def sync_boundary_hook(self):
+        """Count release boundaries; ``num_cores`` of them close an epoch."""
+        return self._on_release
+
+    # ------------------------------------------------------------------
+    def _resolve_phase(self, core: int, is_write: bool, line: int, dirent) -> int:
+        """Decay, then promote, the line's phase for this miss; return it."""
+        info = self._line_phase.get(line)
+        epoch = self._epoch
+        if info is None:
+            info = [PHASE_PRIVATE, core, epoch]
+            self._line_phase[line] = info
+        elif info[0] != PHASE_PRIVATE and epoch > info[2]:
+            # Lazy decay: one level per full epoch without a phase change.
+            decayed = info[0] - (epoch - info[2])
+            info[0] = decayed if decayed > PHASE_PRIVATE else PHASE_PRIVATE
+            info[2] = epoch
+            self.phase_demotions += 1
+        phase = info[0]
+        if is_write:
+            sharers = dirent.sharers
+            shared_write = info[1] != core or (
+                sharers and not (len(sharers) == 1 and core in sharers)
+            )
+            if shared_write and phase != PHASE_WRITE_SHARED:
+                info[0] = phase = PHASE_WRITE_SHARED
+                info[2] = epoch
+                self.phase_promotions += 1
+        elif info[1] != core and phase == PHASE_PRIVATE:
+            info[0] = phase = PHASE_READ_SHARED
+            info[2] = epoch
+            self.phase_promotions += 1
+        info[1] = core
+        return phase
+
+    # ==================================================================
+    # Miss path: DirectoryEngine._service_miss with the utilization
+    # classifier replaced by the phase policy (the classifier is None for
+    # this family, so the parent's classifier blocks are dropped rather
+    # than branched around).
+    # ==================================================================
+    def _service_miss(
+        self,
+        core: int,
+        is_write: bool,
+        line: int,
+        word: int,
+        now: float,
+        upgrade: bool,
+    ) -> AccessResult:
+        l1 = self.l1d[core]
+        l1.misses += 1
+        energy = self.energy
+        energy.l1d_tag_accesses += 1
+        result = AccessResult()
+
+        # ---- request to the home slice (shared delivery path).
+        if is_write:
+            req_msg = _UPGRADE_REQ if upgrade else _WRITE_REQ
+        else:
+            req_msg = _READ_REQ
+        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+        energy.directory_lookups += 1
+
+        dirent = l2line.directory
+
+        # ---- phase classification replaces the utilization classifier.
+        phase = self._resolve_phase(core, is_write, line, dirent)
+        serviced_remote = phase == PHASE_WRITE_SHARED
+
+        if upgrade and serviced_remote:
+            # The line just entered (or already was in) the write-shared
+            # phase while this core still holds an S copy: fold the copy
+            # back before servicing at the home.
+            self._remove_own_copy(core, line, l2line)
+            upgrade = False
+
+        # ---- miss classification uses the pre-service history.
+        history = self._history[core]
+        flags = history.get(line, 0)
+        if upgrade:
+            miss_type = MissType.UPGRADE
+        elif serviced_remote and flags & _EVER_REMOTE:
+            miss_type = MissType.WORD
+        elif not flags & _EVER_CACHED:
+            miss_type = MissType.COLD
+        elif flags & _LAST_REMOVAL_INVAL:
+            miss_type = MissType.SHARING
+        else:
+            miss_type = MissType.CAPACITY
+        result.miss_type = miss_type
+        result.remote = serviced_remote
+        self.miss_stats._miss_counts[miss_type] += 1
+
+        # ---- coherence actions at the home (same as the directory path).
+        if is_write:
+            sharers = dirent.sharers
+            if sharers and not (len(sharers) == 1 and core in sharers):
+                sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
+                t += sharers_lat
+                result.l2_sharers = sharers_lat
+        elif dirent.owner >= 0 and dirent.owner != core:
+            sharers_lat = self._sync_writeback(line, l2line, home, t)
+            t += sharers_lat
+            result.l2_sharers = sharers_lat
+
+        # ---- service: word access at the home or private line grant.
+        if serviced_remote:
+            self.phase_word_accesses += 1
+            reply_t = self._service_word_at_home(
+                core, is_write, line, word, l2line, home, slice_, t
+            )
+            flags |= _EVER_REMOTE
+        else:
+            reply_t = self._service_private(
+                core, is_write, line, word, l2line, home, slice_, t, upgrade
+            )
+            flags |= _EVER_CACHED
+        history[line] = flags
+
+        # ---- settle timing: word reads pipeline, everything else owns
+        # the line until the directory settles (Section 5.1.2 rule).
+        if serviced_remote and not is_write:
+            busy = t - self._l2_latency + 1.0
+            if busy > l2line.busy_until:
+                l2line.busy_until = busy
+        else:
+            l2line.busy_until = t
+        store = slice_.store
+        store._use_counter = counter = store._use_counter + 1
+        l2line.last_use = counter
+        l2line.last_access = t
+        energy.directory_updates += 1
+
+        result.latency = reply_t - now
+        result.l1_to_l2 = (
+            result.latency - result.l2_waiting - result.l2_sharers - result.l2_offchip
+        )
+        if self.verify:
+            dirent.check_invariants()
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection helper used by tests.
+    # ------------------------------------------------------------------
+    def line_phase(self, line: int) -> int:
+        """Current phase of ``line`` (before any lazy decay it has earned)."""
+        info = self._line_phase.get(line)
+        return info[0] if info is not None else PHASE_PRIVATE

@@ -31,6 +31,7 @@ from repro.common.params import (
     baseline_protocol,
     dls_protocol,
     neat_protocol,
+    phase_protocol,
     victim_replication_protocol,
 )
 from repro.sim.multicore import Simulator
@@ -52,7 +53,7 @@ DEFAULT_POINTS: tuple[tuple[str, int, str], ...] = (
 
 #: Family -> ProtocolConfig for benched points ("pct" follows the paper's
 #: sweep convention: PCT=1 is the baseline, otherwise adaptive at PCT).
-BENCH_FAMILIES = ("pct", "baseline", "victim", "dls", "neat")
+BENCH_FAMILIES = ("pct", "baseline", "victim", "dls", "neat", "phase")
 
 
 def _protocol_for(pct: int, family: str = "pct") -> ProtocolConfig:
@@ -68,6 +69,8 @@ def _protocol_for(pct: int, family: str = "pct") -> ProtocolConfig:
         return dls_protocol()
     if family == "neat":
         return neat_protocol()
+    if family == "phase":
+        return phase_protocol()
     if pct <= 1:
         return baseline_protocol()
     return ProtocolConfig(protocol="adaptive", pct=pct, rat_max=max(16, pct))

@@ -199,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--pct", type=int, default=4,
                        help="PCT for the benchmarked points (default 4)")
     bench.add_argument("--family", default="pct",
-                       choices=("pct", "baseline", "victim", "dls", "neat"),
+                       choices=("pct", "baseline", "victim", "dls", "neat", "phase"),
                        help="protocol family for the --workloads points "
                        "(pct = the paper sweep convention; requires "
                        "--workloads, the default point set has fixed "
@@ -230,6 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit one JSON object per host instead of a table")
     stats.add_argument("--timeout", type=float, default=10.0,
                        help="per-host connect/read timeout in seconds")
+
+    exhaustive = sub.add_parser(
+        "check-exhaustive",
+        help="enumerate ALL interleavings of tiny two-core traces and "
+        "verify every protocol family on each (model-checking tier)",
+    )
+    exhaustive.add_argument(
+        "--ops", type=int, default=6,
+        help="per-core op budget; templates needing more are skipped "
+        "(default 6 = everything, 4 = the CI smoke budget)")
+    exhaustive.add_argument(
+        "--max-violations", type=int, default=10,
+        help="stop after this many distinct violations (default 10)")
+    exhaustive.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full report (including minimized traces) to PATH")
 
     trend = sub.add_parser(
         "trend",
@@ -445,6 +461,30 @@ def _cmd_events(args) -> int:
     return 0
 
 
+def _cmd_check_exhaustive(args) -> int:
+    from repro.verify import run_exhaustive
+
+    if args.ops < 1:
+        log.error("--ops must be >= 1, got %d", args.ops)
+        return 1
+
+    def progress(template: str, runs: int) -> None:
+        log.info("enumerating %-22s (%d verified runs)", template, runs)
+
+    report = run_exhaustive(
+        ops=args.ops, progress=progress, max_violations=args.max_violations
+    )
+    print(report.summary())
+    for violation in report.violations:
+        print()
+        print(violation.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        log.info("report written to %s", args.json)
+    return 0 if report.ok else 1
+
+
 def _cmd_serve_stats(args) -> int:
     from repro.runner.backends.remote import parse_hosts
 
@@ -477,6 +517,7 @@ _COMMANDS = {
     "trend": _cmd_trend,
     "events": _cmd_events,
     "serve-stats": _cmd_serve_stats,
+    "check-exhaustive": _cmd_check_exhaustive,
 }
 
 

@@ -28,6 +28,7 @@ from repro.common.params import (
     baseline_protocol,
     dls_protocol,
     neat_protocol,
+    phase_protocol,
     victim_replication_protocol,
 )
 from repro.common.statsutil import geomean
@@ -40,10 +41,10 @@ FIGURE11_PCTS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20
 
 #: Protocol families selectable in a sweep.  "pct" follows the paper's sweep
 #: convention (PCT=1 *is* the baseline directory protocol); "adaptive" forces
-#: the adaptive protocol even at PCT=1.  "dls" and "neat" are the
+#: the adaptive protocol even at PCT=1.  "dls", "neat" and "phase" are the
 #: related-work comparison baselines (PAPERS.md): each is a single grid
-#: point - neither has a PCT axis.
-PROTOCOL_FAMILIES = ("pct", "adaptive", "baseline", "victim", "dls", "neat")
+#: point - none has a PCT axis.
+PROTOCOL_FAMILIES = ("pct", "adaptive", "baseline", "victim", "dls", "neat", "phase")
 
 
 def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig]:
@@ -55,6 +56,8 @@ def _family_protocols(family: str, pcts: tuple[int, ...]) -> list[ProtocolConfig
         return [dls_protocol()]
     if family == "neat":
         return [neat_protocol()]
+    if family == "phase":
+        return [phase_protocol()]
     protos = []
     for pct in pcts:
         if family == "pct" and pct <= 1:

@@ -203,6 +203,10 @@ class RunStats:
     # Self-invalidation counters (protocol="neat" runs only).
     self_invalidations: int = 0
     write_throughs: int = 0
+    # Phase-priority counters (protocol="phase" runs only).
+    phase_promotions: int = 0
+    phase_demotions: int = 0
+    phase_word_accesses: int = 0
 
     #: Fields serialized via their own to_dict/from_dict rather than as scalars.
     _COMPOSITE_FIELDS = ("latency", "miss", "energy", "inval_histogram", "evict_histogram")
@@ -234,10 +238,13 @@ class RunStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunStats":
+        # Tolerant of older serialized runs: scalar counters the mapping
+        # predates (e.g. cache entries written before a family's counters
+        # existed) keep their defaults, mirroring ProtocolConfig.from_dict.
         kwargs = {
             f.name: data[f.name]
             for f in dataclasses.fields(cls)
-            if f.name not in cls._COMPOSITE_FIELDS
+            if f.name not in cls._COMPOSITE_FIELDS and f.name in data
         }
         kwargs["latency"] = LatencyBreakdown.from_dict(data["latency"])
         kwargs["miss"] = MissStats.from_dict(data["miss"])

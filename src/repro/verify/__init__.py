@@ -1,0 +1,31 @@
+"""Verification tiers beyond the per-run golden memory checks.
+
+``repro.verify.exhaustive`` is the model-checking-style tier below the
+random-trace differential harness: it enumerates *all* interleavings of tiny
+two-core traces and replays every one through every protocol family under
+golden-memory verification.  See DESIGN.md section 11.
+"""
+
+from repro.verify.exhaustive import (
+    DEFAULT_FAMILIES,
+    SCENARIOS,
+    TEMPLATES,
+    ExhaustiveReport,
+    Template,
+    Violation,
+    enumerate_interleavings,
+    format_steps,
+    run_exhaustive,
+)
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "ExhaustiveReport",
+    "SCENARIOS",
+    "TEMPLATES",
+    "Template",
+    "Violation",
+    "enumerate_interleavings",
+    "format_steps",
+    "run_exhaustive",
+]

@@ -1,0 +1,565 @@
+"""Exhaustive small-state model checking of the protocol families.
+
+The random-trace differential harness (``tests/properties``) samples seeded
+traces; ordering bugs that need one specific interleaving can survive it
+indefinitely.  This tier closes that gap for a bounded state space, the way
+the guarded-action-language / lazy-coherence-verification lines of work
+(PAPERS.md: arXiv 1803.10323, 1705.08262) do with state-space enumeration:
+
+* **Templates**: tiny two-core programs (2 cores x 2 lines x <= 6 ops per
+  core) drawn from read / write / unlock(release) / barrier ops, curated to
+  stress the coherence paths (write handoff, upgrade races, dirty L1
+  conflicts, release batching, L2 thrash, migratory sharing).
+* **Enumeration**: *every* feasible interleaving of the two per-core
+  programs, via DFS with canonical-order pruning (DESIGN.md section 11):
+  barrier-infeasible branches are never entered, forced moves do not
+  branch, and inert release placements are excluded at the template level.
+* **Replay**: each interleaving runs through every protocol family as a
+  verify-mode engine-level simulation - every read is checked against the
+  golden memory at service time, ``check_final_state`` sweeps the final
+  image, and the per-family golden/observable images are compared across
+  families (all families see the identical access order, so their golden
+  images must be bit-identical).
+* **Minimization**: a failing interleaving is delta-debugged - ops are
+  greedily dropped while the failure persists - so a violation is reported
+  as the smallest trace that still reproduces it.
+
+Templates keep one writer per (line, word) across cores (both cores may
+write the same *line*, on disjoint words).  Racy same-word writes are
+excluded by construction: under release-style families (Neat's batching)
+the globally visible order of two racing writes is defined by the release
+order, not the access order, so cross-family final-image equality is only
+a theorem for single-writer-per-word traces - the same convention the
+trace-level differential harness uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import addr as addrmod
+from repro.common.errors import ConfigError, ReproError
+from repro.common.params import (
+    ArchConfig,
+    CacheGeometry,
+    ProtocolConfig,
+    baseline_protocol,
+    dls_protocol,
+    neat_protocol,
+    phase_protocol,
+    victim_replication_protocol,
+)
+from repro.protocol.engine import make_engine
+
+#: One template op: (kind, line index 0/1, word index 0..7).  Kinds:
+#: "R" read, "W" write, "U" unlock (release boundary), "B" barrier
+#: (arrival is a release boundary; ops after it wait for the other core).
+Op = tuple[str, int, int]
+
+#: One replay step: (core, kind, line index, word index).
+Step = tuple[int, str, int, int]
+
+_OP_KINDS = ("R", "W", "U", "B")
+_ACTIVE_CORES = 2
+_MAX_OPS_PER_CORE = 6
+
+#: Default engine configurations: the six protocol families, with Neat
+#: additionally covered in both self-downgrade modes (the release-batching
+#: path has its own flush machinery worth enumerating).
+DEFAULT_FAMILIES: tuple[tuple[str, ProtocolConfig], ...] = (
+    ("baseline", baseline_protocol()),
+    ("adaptive", ProtocolConfig(protocol="adaptive", pct=4)),
+    ("victim", victim_replication_protocol()),
+    ("dls", dls_protocol()),
+    ("neat", neat_protocol()),
+    ("neat-release", neat_protocol("release")),
+    ("phase", phase_protocol()),
+)
+
+
+# ----------------------------------------------------------------------
+# Scenarios: tiny machine shapes x line placements.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One (machine shape, line placement) the templates replay on."""
+
+    name: str
+    arch: ArchConfig
+    #: Concrete line numbers the template's line indices 0/1 map to.
+    lines: tuple[int, int]
+
+
+def _arch(l2: CacheGeometry) -> ArchConfig:
+    # Direct-mapped 1KB L1-D (16 sets): lines 16 apart collide in one L1
+    # set, so dirty-eviction / early-flush paths are reachable with only
+    # two lines.  num_cores=4 is the smallest legal mesh; cores 0 and 1
+    # are the active pair.
+    return ArchConfig(
+        num_cores=4,
+        num_memory_controllers=2,
+        l1d=CacheGeometry(1, 1, 1),
+        l2=l2,
+    )
+
+
+#: The three standard scenarios.  Lines 3/19 share L1 set 3 (and L2 set 3);
+#: lines 3/4 are set-disjoint; the "l2-thrash" scenario shrinks the L2 to
+#: one way so the two conflicting lines also evict each other at the home,
+#: exercising L2 write-back, inclusion purges and DLS dirty-word merges.
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario("l1-conflict", _arch(CacheGeometry(2, 2, 7)), (3, 19)),
+    Scenario("disjoint", _arch(CacheGeometry(2, 2, 7)), (3, 4)),
+    Scenario("l2-thrash", _arch(CacheGeometry(1, 1, 7)), (3, 19)),
+)
+
+
+# ----------------------------------------------------------------------
+# Templates.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Template:
+    """A two-core program pair over line indices 0/1."""
+
+    name: str
+    core0: tuple[Op, ...]
+    core1: tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        writers: dict[tuple[int, int], int] = {}
+        barriers = []
+        for core, prog in enumerate((self.core0, self.core1)):
+            if len(prog) > _MAX_OPS_PER_CORE:
+                raise ConfigError(
+                    f"template {self.name!r}: core{core} has {len(prog)} ops "
+                    f"(max {_MAX_OPS_PER_CORE})"
+                )
+            count = 0
+            prev_kind = None
+            for index, (kind, line, word) in enumerate(prog):
+                if kind not in _OP_KINDS:
+                    raise ConfigError(f"template {self.name!r}: bad op kind {kind!r}")
+                if kind in ("R", "W") and not (0 <= line <= 1 and 0 <= word <= 7):
+                    raise ConfigError(
+                        f"template {self.name!r}: op {kind}({line},{word}) out of range"
+                    )
+                if kind == "B":
+                    count += 1
+                if kind == "U":
+                    # Canonical-order pruning at the template level: a
+                    # release with nothing before it, right after another
+                    # release, or as the final op (end-of-trace is already
+                    # a release) is inert in every family - enumerate only
+                    # placements that can matter.
+                    if index == 0 or prev_kind == "U" or index == len(prog) - 1:
+                        raise ConfigError(
+                            f"template {self.name!r}: inert release placement "
+                            f"at core{core} op {index}"
+                        )
+                if kind == "W":
+                    owner = writers.setdefault((line, word), core)
+                    if owner != core:
+                        raise ConfigError(
+                            f"template {self.name!r}: ({line},{word}) written "
+                            f"by both cores (single-writer-per-word required)"
+                        )
+                prev_kind = kind
+            barriers.append(count)
+        if barriers[0] != barriers[1]:
+            raise ConfigError(
+                f"template {self.name!r}: unbalanced barriers {barriers}"
+            )
+
+    @property
+    def max_ops(self) -> int:
+        return max(len(self.core0), len(self.core1))
+
+
+def _w(line: int, word: int) -> Op:
+    return ("W", line, word)
+
+
+def _r(line: int, word: int) -> Op:
+    return ("R", line, word)
+
+
+_U: Op = ("U", 0, 0)
+_B: Op = ("B", 0, 0)
+
+#: Word-ownership convention: core 0 writes words 0/1, core 1 words 4/5.
+TEMPLATES: tuple[Template, ...] = (
+    # Write handoff through a release: the minimal producer/consumer.
+    Template("wr-handoff", (_w(0, 0), _U, _r(0, 0)), (_r(0, 0),)),
+    # Both cores write disjoint words of one line and read each other's.
+    Template(
+        "word-ping-pong",
+        (_w(0, 0), _r(0, 4), _w(0, 1)),
+        (_w(0, 4), _r(0, 0), _w(0, 5)),
+    ),
+    # Producer/consumer in both directions across a barrier.
+    Template(
+        "barrier-exchange",
+        (_w(0, 0), _B, _r(0, 4)),
+        (_w(0, 4), _B, _r(0, 0)),
+    ),
+    # Dirty L1 conflict: the second line evicts the first (MODIFIED) one
+    # in the l1-conflict/l2-thrash scenarios, then the line returns.
+    Template(
+        "dirty-evict-return",
+        (_w(0, 0), _w(1, 1), _r(0, 0)),
+        (_r(0, 0), _r(1, 1)),
+    ),
+    # Two read-then-write cores racing for the upgrade.
+    Template(
+        "upgrade-race",
+        (_r(0, 0), _w(0, 0)),
+        (_r(0, 4), _w(0, 4)),
+    ),
+    # Release batching across two lines with an eviction in between: the
+    # early (eviction-triggered) flush and the release batch must not
+    # double-flush (the Neat release audit, ISSUE 7 satellite).
+    Template(
+        "release-early-flush",
+        (_w(0, 0), _w(0, 1), _w(1, 0), _U, _r(0, 0)),
+        (_r(0, 1), _r(1, 0)),
+    ),
+    # Interleaved writes with releases between them.
+    Template(
+        "write-release-write",
+        (_w(0, 0), _U, _w(0, 1)),
+        (_w(0, 4), _U, _w(0, 5)),
+    ),
+    # Read-shared line promoted by a write: the invalidation round hits
+    # every reader.
+    Template(
+        "readers-then-writer",
+        (_r(0, 0), _r(0, 1), _w(0, 0)),
+        (_r(0, 0), _r(0, 1)),
+    ),
+    # Migratory sharing: each core reads the other's word then writes its
+    # own, twice around.
+    Template(
+        "migratory",
+        (_r(0, 4), _w(0, 0), _r(0, 5)),
+        (_r(0, 0), _w(0, 4), _w(0, 5)),
+    ),
+    # Disjoint words dirtied by both cores on both lines; the l2-thrash
+    # scenario forces home-slice evictions in opposite orders (the DLS
+    # dirty-word write-back audit, ISSUE 7 satellite).
+    Template(
+        "disjoint-dirty-evict",
+        (_w(0, 0), _w(1, 1), _r(1, 1)),
+        (_w(0, 4), _w(1, 5), _r(0, 0)),
+    ),
+    # Two barrier phases: write, exchange, write the other line, exchange.
+    Template(
+        "double-barrier",
+        (_w(0, 0), _B, _r(0, 4), _B, _w(1, 0)),
+        (_w(0, 4), _B, _r(0, 0), _B, _r(1, 0)),
+    ),
+    # No writes at all: pure sharing, every value stays zero.
+    Template(
+        "pure-readers",
+        (_r(0, 0), _r(1, 0), _r(0, 1)),
+        (_r(0, 0), _r(1, 4), _r(0, 2)),
+    ),
+    # The 6+6 stress mix: writes, cross reads, releases and an L1
+    # conflict, the largest template the tier enumerates (924 orders).
+    Template(
+        "full-mix",
+        (_w(0, 0), _r(1, 0), _w(0, 1), _U, _r(0, 4), _w(1, 1)),
+        (_r(0, 0), _w(0, 4), _r(1, 1), _U, _w(1, 4), _r(0, 1)),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Interleaving enumeration: DFS with barrier feasibility.
+# ----------------------------------------------------------------------
+def enumerate_interleavings(core0: tuple[Op, ...], core1: tuple[Op, ...]):
+    """Yield every feasible schedule as a tuple of core ids (0/1).
+
+    A schedule is feasible iff no op that follows a core's k-th barrier
+    executes before the other core's k-th barrier arrival.  The DFS never
+    enters an infeasible branch (a blocked core simply offers no move) and
+    a forced move (one movable core) does not branch.  With balanced
+    barrier counts every partial schedule extends to a complete one, so
+    enumeration is exhaustive and prune-sound.
+    """
+    n0, n1 = len(core0), len(core1)
+    prefix: list[int] = []
+
+    def rec(i0: int, i1: int, b0: int, b1: int):
+        if i0 == n0 and i1 == n1:
+            yield tuple(prefix)
+            return
+        if i0 < n0 and b0 <= b1:
+            prefix.append(0)
+            yield from rec(i0 + 1, i1, b0 + (core0[i0][0] == "B"), b1)
+            prefix.pop()
+        if i1 < n1 and b1 <= b0:
+            prefix.append(1)
+            yield from rec(i0, i1 + 1, b0, b1 + (core1[i1][0] == "B"))
+            prefix.pop()
+
+    yield from rec(0, 0, 0, 0)
+
+
+def schedule_steps(template: Template, schedule: tuple[int, ...]) -> tuple[Step, ...]:
+    """Materialize a schedule into replay steps (core, kind, line, word)."""
+    cursors = [0, 0]
+    progs = (template.core0, template.core1)
+    steps: list[Step] = []
+    for core in schedule:
+        kind, line, word = progs[core][cursors[core]]
+        cursors[core] += 1
+        steps.append((core, kind, line, word))
+    return tuple(steps)
+
+
+def format_steps(steps: tuple[Step, ...]) -> str:
+    """Human-readable one-line-per-op rendering of a replay trace."""
+    names = {"R": "read", "W": "write", "U": "release", "B": "barrier"}
+    lines = []
+    for index, (core, kind, line, word) in enumerate(steps):
+        if kind in ("R", "W"):
+            lines.append(f"  {index:2d}. core{core} {names[kind]:<7} line{line} word{word}")
+        else:
+            lines.append(f"  {index:2d}. core{core} {names[kind]}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Replay: one interleaving through one engine configuration.
+# ----------------------------------------------------------------------
+def _replay(
+    steps: tuple[Step, ...],
+    scenario: Scenario,
+    proto: ProtocolConfig,
+) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """Run ``steps`` through a fresh verify-mode engine.
+
+    Returns ``(golden image, observable image)`` keyed by line number.
+    Raises ``ReproError`` (CoherenceError/SimulationError) on any golden
+    divergence or invariant violation.
+    """
+    engine = make_engine(scenario.arch, proto, verify=True)
+    hook = engine.sync_boundary_hook()
+    lines = scenario.lines
+    t = 0.0
+    for core, kind, line_idx, word in steps:
+        if kind == "U" or kind == "B":
+            if hook is not None:
+                hook(core, t)
+        else:
+            address = (lines[line_idx] << addrmod.LINE_BITS) | (word << addrmod.WORD_BITS)
+            engine.access(core, kind == "W", address, t)
+        t += 1.0
+    if hook is not None:
+        # End-of-trace is each core's final release (Simulator contract).
+        for core in range(_ACTIVE_CORES):
+            hook(core, t)
+            t += 1.0
+    engine.check_final_state()
+    golden = {line: engine.golden.line_snapshot(line) for line in sorted(engine.golden.lines())}
+    observed = {line: engine.final_line_value(line) for line in golden}
+    return golden, observed
+
+
+def _check_steps(
+    steps: tuple[Step, ...],
+    scenario: Scenario,
+    families: tuple[tuple[str, ProtocolConfig], ...],
+) -> tuple[str, str] | None:
+    """Replay ``steps`` through every family; None when all agree.
+
+    On failure returns ``(family label, error description)`` - either a
+    per-family golden/invariant violation or a cross-family image mismatch
+    against the first family.
+    """
+    reference: tuple[str, dict, dict] | None = None
+    for label, proto in families:
+        try:
+            golden, observed = _replay(steps, scenario, proto)
+        except ReproError as exc:
+            return label, f"{type(exc).__name__}: {exc}"
+        if reference is None:
+            reference = (label, golden, observed)
+            continue
+        ref_label, ref_golden, ref_observed = reference
+        if golden != ref_golden:
+            return (
+                f"{label} vs {ref_label}",
+                f"golden images diverge: {golden} != {ref_golden}",
+            )
+        if observed != ref_observed:
+            return (
+                f"{label} vs {ref_label}",
+                f"final observable images diverge: {observed} != {ref_observed}",
+            )
+    return None
+
+
+def minimize_steps(
+    steps: tuple[Step, ...],
+    scenario: Scenario,
+    families: tuple[tuple[str, ProtocolConfig], ...],
+) -> tuple[Step, ...]:
+    """Delta-debug a failing trace: greedily drop ops while it still fails."""
+    current = list(steps)
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = tuple(current[:index] + current[index + 1:])
+            if candidate and _check_steps(candidate, scenario, families) is not None:
+                current = list(candidate)
+                changed = True
+            else:
+                index += 1
+    return tuple(current)
+
+
+# ----------------------------------------------------------------------
+# The driver.
+# ----------------------------------------------------------------------
+@dataclass
+class Violation:
+    """One failing interleaving, with its minimized reproduction."""
+
+    template: str
+    scenario: str
+    family: str
+    error: str
+    steps: tuple[Step, ...]
+    minimized: tuple[Step, ...]
+
+    def describe(self) -> str:
+        return (
+            f"template {self.template!r}, scenario {self.scenario!r}, "
+            f"family {self.family}:\n  {self.error}\n"
+            f"minimized trace ({len(self.minimized)} of {len(self.steps)} ops):\n"
+            f"{format_steps(self.minimized)}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "template": self.template,
+            "scenario": self.scenario,
+            "family": self.family,
+            "error": self.error,
+            "steps": [list(s) for s in self.steps],
+            "minimized": [list(s) for s in self.minimized],
+        }
+
+
+@dataclass
+class ExhaustiveReport:
+    """Outcome of one exhaustive run."""
+
+    ops_limit: int
+    family_labels: tuple[str, ...] = ()
+    scenario_names: tuple[str, ...] = ()
+    #: template name -> number of feasible interleavings (per scenario).
+    interleavings: dict[str, int] = field(default_factory=dict)
+    skipped_templates: tuple[str, ...] = ()
+    total_runs: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def total_interleavings(self) -> int:
+        return sum(self.interleavings.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ops_limit": self.ops_limit,
+            "families": list(self.family_labels),
+            "scenarios": list(self.scenario_names),
+            "interleavings": dict(self.interleavings),
+            "skipped_templates": list(self.skipped_templates),
+            "total_interleavings": self.total_interleavings,
+            "total_runs": self.total_runs,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"exhaustive tier: {len(self.interleavings)} templates x "
+            f"{len(self.scenario_names)} scenarios x {len(self.family_labels)} "
+            f"engine configs (<= {self.ops_limit} ops per core)"
+        ]
+        for name, count in self.interleavings.items():
+            lines.append(f"  {name:<22} {count:5d} interleavings per scenario")
+        if self.skipped_templates:
+            lines.append(
+                f"  skipped (over --ops {self.ops_limit}): "
+                + ", ".join(self.skipped_templates)
+            )
+        lines.append(
+            f"{self.total_runs} verified runs over "
+            f"{self.total_interleavings * len(self.scenario_names)} interleavings: "
+            + ("all interleavings agree, zero violations"
+               if self.ok else f"{len(self.violations)} VIOLATIONS")
+        )
+        for violation in self.violations:
+            lines.append("")
+            lines.append(violation.describe())
+        return "\n".join(lines)
+
+
+def run_exhaustive(
+    ops: int = _MAX_OPS_PER_CORE,
+    families: tuple[tuple[str, ProtocolConfig], ...] = DEFAULT_FAMILIES,
+    templates: tuple[Template, ...] = TEMPLATES,
+    scenarios: tuple[Scenario, ...] = SCENARIOS,
+    progress=None,
+    max_violations: int = 10,
+) -> ExhaustiveReport:
+    """Enumerate and verify every interleaving of every selected template.
+
+    ``ops`` caps the per-core template length (templates above it are
+    skipped and reported, the CI smoke budget knob).  After the first
+    violation in a (template, scenario) pair the remaining interleavings of
+    that pair are skipped - one minimized reproduction per defect is worth
+    more than thousands of repeats - and the whole run stops after
+    ``max_violations``.
+    """
+    report = ExhaustiveReport(
+        ops_limit=ops,
+        family_labels=tuple(label for label, _ in families),
+        scenario_names=tuple(s.name for s in scenarios),
+    )
+    selected = [t for t in templates if t.max_ops <= ops]
+    report.skipped_templates = tuple(t.name for t in templates if t.max_ops > ops)
+    for template in selected:
+        schedules = list(enumerate_interleavings(template.core0, template.core1))
+        report.interleavings[template.name] = len(schedules)
+        if progress is not None:
+            progress(template.name, len(schedules) * len(scenarios) * len(families))
+        for scenario in scenarios:
+            for schedule in schedules:
+                steps = schedule_steps(template, schedule)
+                failure = _check_steps(steps, scenario, families)
+                report.total_runs += len(families)
+                if failure is None:
+                    continue
+                family, error = failure
+                report.violations.append(
+                    Violation(
+                        template=template.name,
+                        scenario=scenario.name,
+                        family=family,
+                        error=error,
+                        steps=steps,
+                        minimized=minimize_steps(steps, scenario, families),
+                    )
+                )
+                break  # next scenario: one reproduction per pair
+            if len(report.violations) >= max_violations:
+                return report
+    return report

@@ -126,11 +126,11 @@ class TestFigureGenerators:
 
 
 class TestProtocolFamiliesFigure:
-    def test_five_way_comparison_structure(self, tiny_runner):
+    def test_six_way_comparison_structure(self, tiny_runner):
         from repro.experiments.figures import protocol_families_comparison
 
         result = protocol_families_comparison(tiny_runner)
-        labels = {"baseline", "victim", "dls", "neat", "adaptive"}
+        labels = {"baseline", "victim", "dls", "neat", "phase", "adaptive"}
         for workload in tiny_runner.workloads:
             row = result.data[workload]
             assert set(row) == labels

@@ -2,7 +2,7 @@
 
 The contract (DESIGN.md section 10): with telemetry enabled, every
 simulation produces ``RunStats`` **bit-identical** to the uninstrumented
-run, across all five protocol families.  The instrumentation emits per
+run, across all six protocol families.  The instrumentation emits per
 *run* - counters are snapshots of statistics the simulator already keeps -
 so neutrality holds by construction; this suite pins it empirically so a
 future per-record emission sneaking into a hot loop fails loudly.
@@ -18,7 +18,7 @@ from repro.obs import TELEMETRY
 from repro.runner.backends.local import execute_job
 from repro.runner.sweep import grid_from_args
 
-FAMILIES = ("pct", "baseline", "victim", "dls", "neat")
+FAMILIES = ("pct", "baseline", "victim", "dls", "neat", "phase")
 
 
 def _jobs(families=FAMILIES):

@@ -1,8 +1,8 @@
-"""Golden-model differential harness: all five protocol families, one trace.
+"""Golden-model differential harness: all six protocol families, one trace.
 
 The strongest cross-protocol check in the suite.  A seeded random
 multithreaded access sequence is driven through every protocol family -
-baseline, adaptive, victim, dls, neat - in verify mode, where:
+baseline, adaptive, victim, dls, neat, phase - in verify mode, where:
 
 * each engine checks every read against its own golden memory maintained in
   coherence order and asserts its structural invariants (SWMR for the
@@ -25,7 +25,13 @@ The trace generator and ``run_differential`` are importable - new protocol
 families get differential coverage by adding one entry to ``ENGINES``.
 
 The seed set is environment-overridable (``REPRO_DIFF_SEEDS=7,19``) so CI
-can pin cheap fixed seeds while local runs take the default four.
+can pin cheap fixed seeds while local runs take the default four.  A set-but-
+unparseable value fails loudly: silently running ZERO seeds would turn the
+whole harness into a green no-op.
+
+On failure the harness delta-debugs the random trace down to a minimized
+reproduction and prints it - the same instrument ``repro.verify.exhaustive``
+applies to its enumerated interleavings.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.common.params import (
     baseline_protocol,
     dls_protocol,
     neat_protocol,
+    phase_protocol,
     victim_replication_protocol,
 )
 from repro.protocol.engine import make_engine
@@ -54,13 +61,14 @@ NUM_CORES = 4
 NUM_LINES = 24
 STEPS = 700
 
-#: The five protocol families under differential test.
+#: The six protocol families under differential test.
 ENGINES: dict[str, ProtocolConfig] = {
     "baseline": baseline_protocol(),
     "adaptive": ProtocolConfig(pct=2, classifier="limited", limited_k=2),
     "victim": victim_replication_protocol(),
     "dls": dls_protocol(),
     "neat": neat_protocol(),
+    "phase": phase_protocol(),
 }
 
 
@@ -102,14 +110,14 @@ def generate_trace(seed: int, steps: int = STEPS) -> list[tuple[int, bool, int]]
     return trace
 
 
-def run_differential(seed: int) -> dict[str, object]:
-    """Drive one seeded trace through all five families; return the engines.
+def _drive_trace(trace: list[tuple[int, bool, int]]):
+    """Drive one fixed access sequence through every family.
 
-    Raises ``AssertionError`` (seed in the message) on any ``CoherenceError``
-    or cross-protocol divergence.
+    Returns ``(error-or-None, engines)``: the first failure as a message
+    string (per-family coherence/final-state violation, or cross-protocol
+    golden/observable divergence), plus the engines completed so far.
     """
-    trace = generate_trace(seed)
-    engines = {}
+    engines: dict[str, object] = {}
     for name, proto in ENGINES.items():
         engine = make_engine(tiny_arch(), proto, verify=True)
         now = 0.0
@@ -117,19 +125,18 @@ def run_differential(seed: int) -> dict[str, object]:
             try:
                 result = engine.access(core, is_write, address, now)
             except CoherenceError as exc:
-                raise AssertionError(
-                    f"seed={seed}: protocol {name!r} violated coherence at "
-                    f"step {step} ({'W' if is_write else 'R'} core {core} "
+                return (
+                    f"protocol {name!r} violated coherence at step {step} "
+                    f"({'W' if is_write else 'R'} core {core} "
                     f"addr {address:#x}): {exc}"
-                ) from exc
+                ), engines
             now += 1.0 + result.latency
         try:
             engine.check_final_state()
         except CoherenceError as exc:
-            raise AssertionError(
-                f"seed={seed}: protocol {name!r} lost a write "
-                f"(final-state divergence): {exc}"
-            ) from exc
+            return (
+                f"protocol {name!r} lost a write (final-state divergence): {exc}"
+            ), engines
         engines[name] = engine
 
     # ---- cross-protocol equivalence: same trace, same observable memory.
@@ -137,30 +144,101 @@ def run_differential(seed: int) -> dict[str, object]:
     ref_lines = sorted(reference.golden.lines())
     for name, engine in engines.items():
         lines = sorted(engine.golden.lines())
-        assert lines == ref_lines, (
-            f"seed={seed}: protocol {name!r} touched different lines than "
-            f"baseline: {set(lines) ^ set(ref_lines)}"
-        )
+        if lines != ref_lines:
+            return (
+                f"protocol {name!r} touched different lines than baseline: "
+                f"{set(lines) ^ set(ref_lines)}"
+            ), engines
         for line in ref_lines:
             expected = reference.golden.line_snapshot(line)
             got = engine.golden.line_snapshot(line)
-            assert got == expected, (
-                f"seed={seed}: golden-image divergence at line {line:#x} "
-                f"between baseline and {name!r}: {expected} vs {got}"
-            )
+            if got != expected:
+                return (
+                    f"golden-image divergence at line {line:#x} between "
+                    f"baseline and {name!r}: {expected} vs {got}"
+                ), engines
             observable = engine.final_line_value(line)
-            assert observable == expected, (
-                f"seed={seed}: final-memory divergence at line {line:#x} "
-                f"for {name!r}: observable {observable}, expected {expected}"
-            )
+            if observable != expected:
+                return (
+                    f"final-memory divergence at line {line:#x} for {name!r}: "
+                    f"observable {observable}, expected {expected}"
+                ), engines
+    return None, engines
+
+
+def minimize_trace(trace: list[tuple[int, bool, int]]) -> list[tuple[int, bool, int]]:
+    """Delta-debug a failing access sequence: greedily drop records while
+    some family still fails.  Only ever called on a failing trace, so the
+    quadratic worst case is paid exactly when there is a bug to report."""
+    current = list(trace)
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1:]
+            if candidate and _drive_trace(candidate)[0] is not None:
+                current = candidate
+                changed = True
+            else:
+                index += 1
+    return current
+
+
+def format_trace(trace: list[tuple[int, bool, int]]) -> str:
+    """One record per line, REPL-pasteable next to ``run_differential``."""
+    return "\n".join(
+        f"  {index:3d}. core{core} {'write' if is_write else 'read '} {address:#x}"
+        for index, (core, is_write, address) in enumerate(trace)
+    )
+
+
+def run_differential(seed: int) -> dict[str, object]:
+    """Drive one seeded trace through all six families; return the engines.
+
+    Raises ``AssertionError`` (seed in the message, minimized reproduction
+    appended) on any ``CoherenceError`` or cross-protocol divergence.
+    """
+    trace = generate_trace(seed)
+    error, engines = _drive_trace(trace)
+    if error is not None:
+        minimized = minimize_trace(trace)
+        raise AssertionError(
+            f"seed={seed}: {error}\n"
+            f"minimized reproduction ({len(minimized)} of {len(trace)} "
+            f"records):\n{format_trace(minimized)}"
+        )
     return engines
 
 
 def _seed_set() -> list[int]:
+    """``REPRO_DIFF_SEEDS`` as a seed list, or the default four.
+
+    A set-but-useless value is a CI configuration bug: empty/whitespace
+    values and non-integer entries fail loudly here rather than silently
+    parametrizing the differential test over ZERO seeds.
+    """
     raw = os.environ.get("REPRO_DIFF_SEEDS")
-    if raw:
-        return [int(part) for part in raw.split(",") if part.strip()]
-    return [0, 1, 2, 3]
+    if raw is None:
+        return [0, 1, 2, 3]
+    seeds = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue  # tolerate stray commas: "7,19," means [7, 19]
+        try:
+            seeds.append(int(part))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_DIFF_SEEDS entry {part!r} is not an integer "
+                f"(full value: {raw!r})"
+            ) from None
+    if not seeds:
+        raise ValueError(
+            f"REPRO_DIFF_SEEDS is set but names no seeds: {raw!r} "
+            "(unset it for the default seed set)"
+        )
+    return seeds
 
 
 # ======================================================================
@@ -228,7 +306,7 @@ def build_sync_stress(num_cores: int = NUM_CORES, rounds: int = 3):
 
 
 def run_trace_differential(trace=None) -> dict[str, object]:
-    """Full-simulator differential: verify-mode runs of all five families.
+    """Full-simulator differential: verify-mode runs of all six families.
 
     Returns the per-family ``Simulator.last_engine``; raises
     ``AssertionError`` on any coherence violation, lost write, or
@@ -274,7 +352,7 @@ def run_trace_differential(trace=None) -> dict[str, object]:
 
 
 class TestTraceLevelDifferential:
-    def test_five_families_agree_on_sync_stress_trace(self):
+    def test_six_families_agree_on_sync_stress_trace(self):
         """Locks + barriers included: full runs, identical final memory."""
         engines = run_trace_differential()
         assert set(engines) == set(ENGINES)
@@ -323,7 +401,7 @@ class TestTraceLevelDifferential:
 
 
 @pytest.mark.parametrize("seed", _seed_set())
-def test_five_protocols_agree_on_random_traces(seed):
+def test_six_protocols_agree_on_random_traces(seed):
     """No CoherenceError, no lost write, no cross-protocol divergence."""
     engines = run_differential(seed)
     assert set(engines) == set(ENGINES)
@@ -340,6 +418,61 @@ def test_every_family_exercised_nontrivially():
     assert neat.self_invalidations > 0  # stale copies were retired
     assert neat.write_throughs > 0
     assert neat.miss_stats.hits > 0  # ...but read caching still works
+    phase = engines["phase"]
+    assert phase.phase_promotions > 0  # write-shared lines were promoted
+    assert phase.phase_word_accesses > 0  # ...and then serviced remotely
+
+
+class TestSeedSetParsing:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIFF_SEEDS", raising=False)
+        assert _seed_set() == [0, 1, 2, 3]
+
+    def test_parses_csv_with_spaces(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", " 7 , 19 ")
+        assert _seed_set() == [7, 19]
+
+    def test_stray_commas_tolerated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", "7,19,")
+        assert _seed_set() == [7, 19]
+
+    @pytest.mark.parametrize("raw", ["", "   ", ",", " , "])
+    def test_zero_seed_values_fail_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", raw)
+        with pytest.raises(ValueError, match="REPRO_DIFF_SEEDS"):
+            _seed_set()
+
+    def test_non_integer_entry_names_the_culprit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", "7,nineteen")
+        with pytest.raises(ValueError, match="'nineteen' is not an integer"):
+            _seed_set()
+
+
+class TestFailureMinimization:
+    def test_failing_trace_is_minimized_and_printed(self, monkeypatch):
+        import tests.properties.test_differential as mod
+
+        # Stand-in failure predicate: the trace fails iff it contains BOTH
+        # marker records; everything else is noise the minimizer must shed.
+        markers = {(0, True, BASE), (1, False, BASE)}
+
+        def fake_drive(trace):
+            if markers <= set(trace):
+                return "synthetic divergence", {}
+            return None, {}
+
+        monkeypatch.setattr(mod, "_drive_trace", fake_drive)
+        noise = [(2, False, BASE + 64 * k) for k in range(5)]
+        trace = noise[:2] + [(0, True, BASE)] + noise[2:] + [(1, False, BASE)]
+        minimized = mod.minimize_trace(trace)
+        assert set(minimized) == markers and len(minimized) == 2
+        with pytest.raises(AssertionError) as excinfo:
+            monkeypatch.setattr(mod, "generate_trace", lambda seed: list(trace))
+            mod.run_differential(99)
+        message = str(excinfo.value)
+        assert "seed=99" in message
+        assert "minimized reproduction (2 of 7 records)" in message
+        assert "core0 write" in message and "core1 read" in message
 
 
 def test_divergence_is_detected():

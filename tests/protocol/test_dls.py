@@ -136,6 +136,44 @@ class TestWordInterleaving:
         engine.l2[h0].remove(line)
         engine.check_final_state()
 
+    def test_dirty_word_mask_is_per_slice(self):
+        """A slice masks exactly the words it serviced writes for - never
+        words homed at other slices (its images of those may be stale)."""
+        engine = make_dls_engine(verify=True)
+        share_page(engine)
+        line = BASE // LINE
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE + 3 * WORD, 200.0)
+        h0 = engine.placement.shared_word_home(line, 0)
+        h3 = engine.placement.shared_word_home(line, 3)
+        assert engine.l2[h0].lookup(line).dirty_words == 1 << 0
+        assert engine.l2[h3].lookup(line).dirty_words == 1 << 3
+
+    def test_disjoint_dirty_evictions_merge_in_either_order(self):
+        """Two cores dirty disjoint words at two word homes; evicting the
+        homes in EITHER order must merge both words into the DRAM image
+        (the per-word write-back masking audit, ISSUE 7 satellite)."""
+        line = BASE // LINE
+        for first_word in (0, 3):
+            engine = make_dls_engine(verify=True)
+            share_page(engine)
+            engine.access(0, True, BASE, 100.0)  # core 0 dirties word 0
+            engine.access(1, True, BASE + 3 * WORD, 200.0)  # core 1, word 3
+            homes = {
+                w: engine.placement.shared_word_home(line, w) for w in (0, 3)
+            }
+            order = [homes[first_word], homes[3 - first_word]]
+            for t, home in zip((1000.0, 2000.0), order):
+                ventry = engine.l2[home].lookup(line)
+                assert ventry is not None and ventry.dirty
+                engine._evict_l2_line(home, line, ventry, t)
+                engine.l2[home].remove(line)
+            golden = engine.golden.line_snapshot(line)
+            image = engine._dram_image[line]
+            assert image[0] == golden[0] != 0
+            assert image[3] == golden[3] != 0
+            engine.check_final_state()
+
 
 class TestVerifiedData:
     def test_write_read_roundtrip_under_golden(self):

@@ -111,6 +111,83 @@ class TestReleaseModeSafetyFlushes:
         assert stats.write_throughs >= 1
 
 
+class TestReleaseFlushStaleCopy:
+    """Regression tests for bugs found by the ``repro.verify.exhaustive`` tier.
+
+    Minimized trace (found automatically, 5 ops): core 0 and core 1 buffer
+    stores to disjoint words of ONE line; both release.  The core whose flush
+    lands SECOND holds a copy fetched before the first core's flush - its
+    non-pending words are stale.  ``_flush_line`` used to revalidate that
+    copy to the new line version unconditionally, so the second core's next
+    read of the first core's word served pre-flush data.
+    """
+
+    LINE = 3
+
+    @staticmethod
+    def _engine():
+        from repro.common.params import CacheGeometry
+        from repro.protocol.engine import make_engine
+
+        arch = ArchConfig(
+            num_cores=4,
+            num_memory_controllers=2,
+            l1d=CacheGeometry(1, 1, 1),
+            l2=CacheGeometry(2, 2, 7),
+        )
+        return make_engine(arch, neat_protocol(downgrade="release"), verify=True)
+
+    def _addr(self, word: int) -> int:
+        from repro.common import addr as addrmod
+
+        return (self.LINE << addrmod.LINE_BITS) | (word << addrmod.WORD_BITS)
+
+    def test_second_flusher_copy_stays_stale(self):
+        # W0(w0); W1(w4); release0; release1; R1(w0).  Verify mode golden-
+        # checks the final read: a wrongly revalidated copy on core 1 serves
+        # the pre-flush value of word 0 and aborts with a CoherenceError.
+        engine = self._engine()
+        hook = engine.sync_boundary_hook()
+        assert hook is not None
+        t = 0.0
+        engine.access(0, True, self._addr(0), t)
+        engine.access(1, True, self._addr(4), t + 1)
+        hook(0, t + 2)  # core 0 flushes first: line version bumps
+        hook(1, t + 3)  # core 1 flushes word 4; its copy must STAY stale
+        engine.access(1, False, self._addr(0), t + 4)  # must see core 0's store
+        engine.check_final_state()
+
+    def test_first_flusher_copy_stays_fresh(self):
+        # The flushing core's copy IS the flushed image when it was fresh at
+        # flush time: core 0's re-read after its own flush is a plain hit.
+        engine = self._engine()
+        hook = engine.sync_boundary_hook()
+        engine.access(0, True, self._addr(0), 0.0)
+        hook(0, 1.0)
+        misses_after_flush = engine.miss_stats.misses
+        engine.access(0, False, self._addr(0), 2.0)
+        assert engine.miss_stats.misses == misses_after_flush
+        engine.check_final_state()
+
+    def test_eviction_then_release_single_flush(self):
+        # Satellite audit: an eviction-triggered early flush empties the
+        # pending set, so the release batch at the next boundary must not
+        # emit a second WB_DATA for the line nor bump its version again.
+        engine = self._engine()
+        hook = engine.sync_boundary_hook()
+        other = self.LINE + 16  # same direct-mapped L1 set (16 sets at 1KB)
+        from repro.common import addr as addrmod
+
+        engine.access(0, True, self._addr(0), 0.0)
+        engine.access(0, False, other << addrmod.LINE_BITS, 1.0)  # evicts LINE
+        assert engine.write_throughs == 1  # eviction flushed the buffer
+        assert engine._line_version.get(self.LINE, 0) == 1
+        hook(0, 2.0)  # release batch: nothing pending for LINE
+        assert engine.write_throughs == 1
+        assert engine._line_version.get(self.LINE, 0) == 1
+        engine.check_final_state()
+
+
 class TestConfigNormalization:
     def test_release_knob_is_neat_only(self):
         from repro.common.params import ProtocolConfig

@@ -1,0 +1,165 @@
+"""Phase engine tests: phase-priority directory service (DESIGN.md s11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import ProtocolConfig, phase_protocol
+from repro.common.types import MESIState
+from repro.protocol.phase import (
+    PHASE_PRIVATE,
+    PHASE_READ_SHARED,
+    PHASE_WRITE_SHARED,
+    PhaseEngine,
+)
+from tests.protocol.test_engine import BASE, LINE, share_page, small_arch
+
+LINE_NO = BASE // LINE
+
+
+def make_phase_engine(verify: bool = True) -> PhaseEngine:
+    return PhaseEngine(small_arch(), phase_protocol(), verify=verify)
+
+
+class TestPhaseTransitions:
+    def test_single_core_stays_private(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        for i in range(4):
+            engine.access(0, i % 2 == 0, BASE, 100.0 * (i + 1))
+        assert engine.line_phase(LINE_NO) == PHASE_PRIVATE
+        assert engine.phase_promotions == 0
+
+    def test_cross_core_read_promotes_to_read_shared(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, False, BASE, 100.0)
+        engine.access(1, False, BASE, 200.0)
+        assert engine.line_phase(LINE_NO) == PHASE_READ_SHARED
+        # Read-shared lines still earn private copies (line grants).
+        assert engine.l1_state(1, LINE_NO) is MESIState.SHARED
+
+    def test_cross_core_write_promotes_to_write_shared(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        result = engine.access(1, True, BASE, 200.0)
+        assert engine.line_phase(LINE_NO) == PHASE_WRITE_SHARED
+        assert result.remote  # serviced as a word access at the home
+        assert engine.l1_state(1, LINE_NO) is MESIState.INVALID
+        assert engine.phase_word_accesses == 1
+
+    def test_write_shared_line_serves_reads_remotely_too(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE, 200.0)
+        result = engine.access(2, False, BASE, 300.0)
+        assert result.remote
+        assert engine.l1_state(2, LINE_NO) is MESIState.INVALID
+        engine.check_final_state()
+
+    def test_epoch_decay_demotes_one_level_per_epoch(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE, 200.0)
+        assert engine.line_phase(LINE_NO) == PHASE_WRITE_SHARED
+        # One full epoch of releases (num_cores boundaries) ...
+        hook = engine.sync_boundary_hook()
+        for i in range(engine.arch.num_cores):
+            hook(i % engine.arch.num_cores, 300.0 + i)
+        # ... decays lazily on the next touch: WRITE_SHARED -> READ_SHARED.
+        engine.access(1, False, BASE, 500.0)
+        assert engine.line_phase(LINE_NO) == PHASE_READ_SHARED
+        assert engine.phase_demotions == 1
+
+    def test_two_epochs_decay_to_private(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE, 200.0)
+        hook = engine.sync_boundary_hook()
+        for i in range(2 * engine.arch.num_cores):
+            hook(i % engine.arch.num_cores, 300.0 + i)
+        engine.access(1, False, BASE, 900.0)
+        assert engine.line_phase(LINE_NO) == PHASE_PRIVATE
+        # The next access fills a private copy again.
+        engine.access(1, False, BASE, 1000.0)
+        assert engine.l1_state(1, LINE_NO) is not MESIState.INVALID
+
+    def test_same_core_write_streak_never_promotes(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        for i in range(3):
+            engine.access(4, True, BASE, 100.0 * (i + 1))
+        assert engine.line_phase(LINE_NO) == PHASE_PRIVATE
+
+
+class TestVerifiedData:
+    def test_write_shared_roundtrip_under_golden(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE + 8, 200.0)  # promote, disjoint word
+        engine.access(2, False, BASE, 300.0)  # golden-checked remote read
+        engine.access(3, False, BASE + 8, 400.0)
+        engine.check_final_state()
+
+    def test_upgrade_while_write_shared_folds_the_copy(self):
+        # A core holding an S copy upgrades after the line went
+        # write-shared: its copy must fold back and the write be serviced
+        # at the home (no stale private M copy may survive).
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, False, BASE, 100.0)
+        engine.access(1, False, BASE, 200.0)  # both hold S copies
+        engine.access(2, True, BASE + 8, 300.0)  # promotes to WRITE_SHARED
+        result = engine.access(0, True, BASE, 400.0)  # upgrade attempt
+        assert result.remote
+        assert engine.l1_state(0, LINE_NO) is MESIState.INVALID
+        engine.check_final_state()
+
+
+class TestConfig:
+    def test_factory_pins_the_family_knobs(self):
+        cfg = phase_protocol()
+        assert cfg.protocol == "phase"
+        assert cfg.pct == 1
+        assert cfg.directory == "ackwise"
+
+    def test_directory_stays_selectable(self):
+        assert phase_protocol(directory="fullmap").directory == "fullmap"
+
+    def test_directoryless_rejected(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(protocol="phase", directory="none")
+
+    def test_round_trip(self):
+        cfg = phase_protocol()
+        assert ProtocolConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestStatsExport:
+    def test_counters_reach_run_stats(self):
+        from repro.sim.stats import RunStats
+
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE, 200.0)
+        stats = RunStats()
+        engine.export_stats(stats)
+        assert stats.phase_promotions == engine.phase_promotions > 0
+        assert stats.phase_word_accesses == engine.phase_word_accesses > 0
+
+    def test_reset_stats_zeroes_phase_counters(self):
+        engine = make_phase_engine()
+        share_page(engine)
+        engine.access(0, True, BASE, 100.0)
+        engine.access(1, True, BASE, 200.0)
+        assert engine.phase_promotions > 0
+        engine.reset_stats()
+        assert engine.phase_promotions == 0
+        assert engine.phase_word_accesses == 0

@@ -242,6 +242,53 @@ class TestConcurrentAppendersAndMerge:
         assert rc == 1
         assert "no result cache" in capsys.readouterr().err
 
+    def test_cli_cache_merge_zero_byte_source_is_clean_noop(
+        self, tmp_path, job, stats, capsys
+    ):
+        """A truncated/never-written results.jsonl (e.g. a daemon died
+        before its first append) merges as zero entries, no traceback."""
+        from repro.runner.cli import main as cli_main
+
+        source = tmp_path / "remote"
+        source.mkdir()
+        (source / "results.jsonl").touch()
+        local = ResultStore(tmp_path / "local")
+        local.put(job, stats)
+        rc = cli_main(["cache", "merge", str(source),
+                       "--cache", str(tmp_path / "local")])
+        assert rc == 0
+        assert "0 entries folded" in capsys.readouterr().out
+        assert len(ResultStore(tmp_path / "local")) == 1  # untouched
+
+    def test_cli_cache_merge_whitespace_only_source_is_clean_noop(
+        self, tmp_path, capsys
+    ):
+        from repro.runner.cli import main as cli_main
+
+        source = tmp_path / "remote"
+        source.mkdir()
+        (source / "results.jsonl").write_text("\n\n  \n")
+        rc = cli_main(["cache", "merge", str(source),
+                       "--cache", str(tmp_path / "local")])
+        assert rc == 0
+        assert "0 entries folded" in capsys.readouterr().out
+
+    def test_merge_into_fresh_destination_creates_it(self, tmp_path, job, stats):
+        """Destination cache that does not exist yet: merge materializes it."""
+        remote = ResultStore(tmp_path / "remote")
+        remote.put(job, stats)
+        dest = tmp_path / "brand-new"
+        assert not dest.exists()
+        merged, skipped = ResultStore(dest).merge(tmp_path / "remote")
+        assert (merged, skipped) == (1, 0)
+        assert ResultStore(dest).get(job) is not None
+
+    def test_zero_byte_log_loads_as_empty_store(self, tmp_path):
+        (tmp_path / "results.jsonl").touch()
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        assert store.merge(tmp_path) == (0, 0)  # even self-merge is a no-op
+
 
 class TestVerifiedEntries:
     def _twin(self, job, verify):

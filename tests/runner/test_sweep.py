@@ -148,14 +148,25 @@ class TestComparisonFamilies:
         )
         assert len(grid.protocols()) == 2
 
-    def test_five_way_grid_expands(self):
+    def test_six_way_grid_expands(self):
         grid = SweepGrid(
-            workloads=("tsp",), families=("baseline", "victim", "dls", "neat", "adaptive"),
+            workloads=("tsp",),
+            families=("baseline", "victim", "dls", "neat", "phase", "adaptive"),
             pcts=(4,), arch=bench_arch(16),
         )
         assert [p.protocol for p in grid.protocols()] == [
-            "baseline", "victim", "dls", "neat", "adaptive",
+            "baseline", "victim", "dls", "neat", "phase", "adaptive",
         ]
+
+    def test_phase_family_is_a_single_directory_point(self):
+        grid = SweepGrid(
+            workloads=("tsp",), families=("phase",), pcts=(1, 4, 8),
+            arch=bench_arch(16),
+        )
+        protos = grid.protocols()
+        assert len(protos) == 1  # no PCT axis
+        assert protos[0].protocol == "phase"
+        assert protos[0].directory != "none"
 
     def test_cli_accepts_new_families(self, tmp_path, capsys):
         out = tmp_path / "rows.json"
@@ -169,18 +180,18 @@ class TestComparisonFamilies:
         assert [r["protocol"] for r in rows] == ["dls", "neat"]
         assert rows[0]["l1d_miss_rate"] == 1.0  # DLS never caches
 
-    def test_five_way_verified_sweep_acceptance(self, tmp_path, capsys):
-        """Acceptance: a grid with all five protocols completes under
+    def test_six_way_verified_sweep_acceptance(self, tmp_path, capsys):
+        """Acceptance: a grid with all six protocols completes under
         golden-verify (any coherence violation would abort the run)."""
         out = tmp_path / "rows.json"
         code = cli_main([
             "sweep", "--workloads", "tsp", "--pct", "4",
-            "--protocols", "pct", "baseline", "victim", "dls", "neat",
+            "--protocols", "pct", "baseline", "victim", "dls", "neat", "phase",
             "--verify", "--cores", "16", "--scale", "tiny",
             "--no-cache", "--quiet", "--json", str(out),
         ])
         assert code == 0
         rows = json.loads(out.read_text())
         assert sorted({r["protocol"] for r in rows}) == [
-            "adaptive", "baseline", "dls", "neat", "victim",
+            "adaptive", "baseline", "dls", "neat", "phase", "victim",
         ]

@@ -34,15 +34,18 @@ class TestQuickstartContract:
         assert stats.completion_time > 0
         assert stats.energy.total > 0
 
-    def test_five_protocol_families_constructible(self):
+    def test_six_protocol_families_constructible(self):
         assert repro.baseline_protocol().protocol == "baseline"
         assert repro.ProtocolConfig(pct=4).protocol == "adaptive"
         assert repro.victim_replication_protocol().protocol == "victim"
         assert repro.dls_protocol().protocol == "dls"
         assert repro.neat_protocol().protocol == "neat"
-        # The directoryless families resolve to directory="none".
+        assert repro.phase_protocol().protocol == "phase"
+        # The directoryless families resolve to directory="none"; phase
+        # keeps a directory (it is a directory protocol with phase service).
         assert repro.dls_protocol().directory == "none"
         assert repro.neat_protocol().directory == "none"
+        assert repro.phase_protocol().directory == "ackwise"
 
     def test_trace_io_round_trip_via_top_level(self, tmp_path):
         arch = repro.ArchConfig(num_cores=16, num_memory_controllers=4)
