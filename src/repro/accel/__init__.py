@@ -1,0 +1,131 @@
+"""Optional compiled accelerator for the mesh hot path (DESIGN.md sec. 12).
+
+``repro.accel`` builds ``_kernel.c`` into a CPython extension on first use
+(see :mod:`repro.accel.build`) and hands :class:`~repro.network.mesh
+.MeshNetwork` a ``MeshKernel`` class that owns the epoch ring-buffer state
+natively.  Selection rules, in order:
+
+1. ``REPRO_NO_ACCEL=1`` (any non-empty value) forces the pure-Python ring
+   buffer.  Checked per ``MeshNetwork`` construction, so tests can flip it
+   with ``monkeypatch.setenv`` without reloading modules.
+2. Otherwise the kernel is compiled/loaded once per process; **any**
+   failure (no compiler, no headers, compile error, import error, constant
+   mismatch with ``repro.network.mesh``) logs a single warning and pins
+   the fallback for the rest of the process.
+3. The pure-Python implementation is the ungated fallback either way -
+   bit-identical by the contention property tests, just slower.
+
+``status()`` is the introspection payload behind ``repro accel-info``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Any
+
+from repro.accel import build
+from repro.accel.build import CACHE_ENV, NO_ACCEL_ENV
+
+__all__ = [
+    "CACHE_ENV",
+    "NO_ACCEL_ENV",
+    "active_impl",
+    "mesh_kernel_class",
+    "reset",
+    "status",
+]
+
+log = logging.getLogger("repro.accel")
+
+#: One-shot load state: ``None`` = not attempted yet, ``(cls, info)``
+#: afterwards (``cls`` is None when the build/load failed).
+_state: tuple[Any, dict] | None = None
+
+
+def _mesh_constants() -> dict[str, int]:
+    from repro.network import mesh
+
+    return {
+        "EPOCH_CYCLES": mesh.EPOCH_CYCLES,
+        "EPOCH_SHIFT": mesh.EPOCH_SHIFT,
+        "WINDOW_EPOCHS": mesh.WINDOW_EPOCHS,
+        "SLOT_SHIFT": mesh._SLOT_SHIFT,
+    }
+
+
+def _load() -> tuple[Any, dict]:
+    global _state
+    if _state is not None:
+        return _state
+    artifact, info = build.build_artifact()
+    cls = None
+    if artifact is not None:
+        try:
+            module = build.load_module(artifact)
+        except (ImportError, OSError) as exc:
+            info["reason"] = f"built kernel failed to import: {exc}"
+        else:
+            mismatch = {
+                name: (value, getattr(module, name, None))
+                for name, value in _mesh_constants().items()
+                if getattr(module, name, None) != value
+            }
+            if mismatch:
+                info["reason"] = f"kernel/mesh constant mismatch: {mismatch}"
+            else:
+                cls = module.MeshKernel
+                info["abi_version"] = module.ABI_VERSION
+    if cls is None:
+        log.warning(
+            "mesh accelerator unavailable, using pure-Python fallback: %s",
+            info.get("reason"),
+        )
+    _state = (cls, info)
+    return _state
+
+
+def reset() -> None:
+    """Forget the cached load attempt (build-cache tests only)."""
+    global _state
+    _state = None
+
+
+def mesh_kernel_class() -> Any | None:
+    """The compiled ``MeshKernel`` class, or ``None`` to use the fallback.
+
+    Honors ``REPRO_NO_ACCEL`` on every call; the expensive build/load is
+    attempted at most once per process.
+    """
+    if os.environ.get(NO_ACCEL_ENV):
+        return None
+    return _load()[0]
+
+
+def active_impl() -> str:
+    """The implementation a ``MeshNetwork`` built right now would select."""
+    return "accel" if mesh_kernel_class() is not None else "fallback"
+
+
+def status() -> dict:
+    """JSON-ready kernel status (the ``repro accel-info`` payload)."""
+    disabled = bool(os.environ.get(NO_ACCEL_ENV))
+    attempted = _state is not None or not disabled
+    if attempted:
+        cls, info = _load()
+    else:
+        cls, info = None, {"reason": None}
+    compiled = cls is not None
+    out = {
+        "implementation": "fallback" if (disabled or not compiled) else "accel",
+        "compiled": compiled,
+        "disabled_by_env": disabled,
+        "cache_dir": info.get("cache_dir", str(build.cache_dir())),
+        "artifact": info.get("artifact"),
+        "compiler": info.get("compiler"),
+        "reason": (
+            f"{NO_ACCEL_ENV} is set" if disabled else info.get("reason")
+        ),
+        "source": info.get("source", str(build.SOURCE)),
+    }
+    return out

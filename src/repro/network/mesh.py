@@ -34,10 +34,22 @@ reply chains; ``unicast``/``broadcast`` are thin wrappers.
 
 The mesh also counts router and link flit traversals, which the energy model
 converts into dynamic energy (DSENT-like, Section 4.2).
+
+**Compiled kernel.**  When :mod:`repro.accel` can build its C extension
+(and ``REPRO_NO_ACCEL`` is unset), the epoch-accounting state - slot
+table, overflow map, recycle counter - lives inside a native ``MeshKernel``
+and ``traverse_path`` is a single FFI call; ``traverse_chain`` /
+``traverse_many`` let the protocol engines reserve whole request->reply
+chains per FFI crossing.  The pure-Python walk below remains the ungated
+fallback and the semantic reference: the kernel replicates it bit for bit
+(same per-link float accumulation, same recycle/overflow hand-off), pinned
+by the contention property tests run against both implementations
+(DESIGN.md section 12).
 """
 
 from __future__ import annotations
 
+from repro import accel as _accel
 from repro.common.params import ArchConfig
 from repro.network.messages import MsgType, message_flits
 from repro.network.topology import Mesh2D
@@ -66,6 +78,38 @@ _SLOT_OCC_MASK = _SLOT_STRIDE - 1
 assert EPOCH_CYCLES < _SLOT_STRIDE
 
 
+class _KernelOverflow:
+    """Dict facade over the compiled kernel's overflow hash map.
+
+    Kept API-compatible with the subset of ``dict`` the rest of the code
+    (and the property tests) use on ``MeshNetwork._overflow``: truthiness,
+    ``len``, ``items``/``values`` for the introspection methods, ``get``
+    for debugging.  Stored occupancies are never zero, so absent-vs-zero
+    is not ambiguous.
+    """
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+
+    def __len__(self) -> int:
+        return self._kernel.overflow_len()
+
+    def __bool__(self) -> bool:
+        return self._kernel.overflow_len() > 0
+
+    def items(self) -> list[tuple[int, int]]:
+        return self._kernel.overflow_items()
+
+    def values(self) -> list[int]:
+        return [value for _key, value in self._kernel.overflow_items()]
+
+    def get(self, key: int, default: int = 0) -> int:
+        value = self._kernel.overflow_get(key)
+        return value if value else default
+
+
 class MeshNetwork:
     """Timing + traffic model for the electrical 2-D mesh.
 
@@ -91,13 +135,19 @@ class MeshNetwork:
         "_bcast_edges",
         "_flits_table",
         "_hop_latency",
-        "slot_recycles",
+        "_kernel",
+        "_recycles",
         "link_flit_traversals",
         "messages_sent",
         "flits_sent",
     )
 
-    def __init__(self, arch: ArchConfig, model_contention: bool | None = None) -> None:
+    def __init__(
+        self,
+        arch: ArchConfig,
+        model_contention: bool | None = None,
+        accel: bool | None = None,
+    ) -> None:
         self.arch = arch
         self.topology = Mesh2D(arch.num_cores)
         #: ``model_contention`` overrides ``arch.link_model`` when given
@@ -142,6 +192,30 @@ class MeshNetwork:
         #: the PR-3 flat dict (which kept every epoch forever); dict *ops*
         #: drop from one probe per link-hop to one insert per recycling.
         self._overflow: dict[int, int] = {}
+        #: The compiled kernel instance, or ``None`` for the pure-Python
+        #: walk.  ``accel`` overrides the automatic selection for tests:
+        #: ``False`` forces the fallback, ``True`` demands the kernel
+        #: (raising if it is unavailable), ``None`` follows
+        #: ``repro.accel`` (compiled-and-loadable unless REPRO_NO_ACCEL).
+        #: Only the epoch-accounting mode is accelerated; the naive and
+        #: no-contention ablations always run the Python paths.
+        self._kernel = None
+        if self._mode == 0 and accel is not False:
+            kernel_cls = _accel.mesh_kernel_class()
+            if kernel_cls is not None:
+                self._kernel = kernel_cls(
+                    self.num_links, self._link_bits, float(arch.hop_latency)
+                )
+                #: The same memory the kernel mutates, viewed as flat
+                #: int64 - the introspection methods below read slots
+                #: identically in both implementations.
+                self._slots = memoryview(self._kernel).cast("q")
+                self._overflow = _KernelOverflow(self._kernel)
+            elif accel is True:
+                raise RuntimeError(
+                    "mesh accelerator requested but unavailable: "
+                    f"{_accel.status()['reason']}"
+                )
         self._link_free_at: dict[int, float] = {}
         #: Flat (src * num_tiles + dst) -> dense-link-id route memo, filled
         #: on demand from the topology's route cache.  Public contract: the
@@ -165,8 +239,10 @@ class MeshNetwork:
         self.flits_sent = 0
         #: Ring-buffer slots recycled for a newer epoch (telemetry counter:
         #: how often the window wrapped past live occupancy; not part of
-        #: RunStats).  Incremented on the rare recycle branches only.
-        self.slot_recycles = 0
+        #: RunStats).  Incremented on the rare recycle branches only; the
+        #: compiled kernel keeps its own count, surfaced through the
+        #: ``slot_recycles`` property.
+        self._recycles = 0
 
     # ------------------------------------------------------------------
     @property
@@ -176,6 +252,25 @@ class MeshNetwork:
         return self.link_flit_traversals + self.flits_sent
 
     @property
+    def slot_recycles(self) -> int:
+        """Slots recycled for a newer epoch, whichever side did it."""
+        kernel = self._kernel
+        return self._recycles if kernel is None else kernel.recycles
+
+    @slot_recycles.setter
+    def slot_recycles(self, value: int) -> None:
+        kernel = self._kernel
+        if kernel is None:
+            self._recycles = value
+        else:
+            kernel.recycles = value
+
+    @property
+    def implementation(self) -> str:
+        """Which traversal implementation this instance runs."""
+        return "fallback" if self._kernel is None else "accel"
+
+    @property
     def paths(self) -> list[tuple | None]:
         """The flat route memo of reserved-path descriptors (see
         :meth:`resolve_path`); entries may be ``None`` until resolved."""
@@ -183,8 +278,11 @@ class MeshNetwork:
 
     def reset_contention(self) -> None:
         """Forget all link reservations (used between independent runs)."""
-        self._slots = [0] * (WINDOW_EPOCHS * self.num_links)
-        self._overflow.clear()
+        if self._kernel is not None:
+            self._kernel.reset()  # zeroes slots + overflow in place
+        else:
+            self._slots = [0] * (WINDOW_EPOCHS * self.num_links)
+            self._overflow.clear()
         self._link_free_at.clear()
 
     def flits_for(self, msg: MsgType) -> int:
@@ -198,10 +296,12 @@ class MeshNetwork:
         ``hops * hop_latency``, and the largest arrival-epoch phase for
         which every head of the message stays inside the arrival epoch -
         everything :meth:`traverse_path` would otherwise recompute per
-        message, folded into the route memo once.  Treat it as opaque:
-        resolve once, hand to ``traverse_path``.  Memoized in :attr:`paths`
-        at index ``src * num_tiles + dst``; ``src == dst`` yields the empty
-        route (a same-tile "message" never enters the network).
+        message, folded into the route memo once.  With the compiled
+        kernel active a fifth element carries the kernel-side path handle.
+        Treat it as opaque: resolve once, hand to ``traverse_path``.
+        Memoized in :attr:`paths` at index ``src * num_tiles + dst``;
+        ``src == dst`` yields the empty route (a same-tile "message" never
+        enters the network).
         """
         key = src * self._num_tiles + dst
         path = self._routes[key]
@@ -210,7 +310,12 @@ class MeshNetwork:
             links = tuple(dense[link] for link in self.topology.route(src, dst))
             hops = len(links)
             hop = self._hop_latency
-            path = (links, hops, hops * hop, EPOCH_CYCLES - 1 - (hops - 1) * hop)
+            limit = EPOCH_CYCLES - 1 - (hops - 1) * hop
+            if self._kernel is not None:
+                path = (links, hops, hops * hop, limit,
+                        self._kernel.register_path(links))
+            else:
+                path = (links, hops, hops * hop, limit)
             self._routes[key] = path
         return path
 
@@ -233,7 +338,7 @@ class MeshNetwork:
         elif tag < epoch:
             # Recycle the slot for the newer epoch; the retired occupancy
             # stays exactly readable through the overflow dict.
-            self.slot_recycles += 1
+            self._recycles += 1
             old = value & _SLOT_OCC_MASK
             if old:
                 self._overflow[(tag << self._link_bits) | link] = old
@@ -272,7 +377,7 @@ class MeshNetwork:
                 slots[slot] = value + flits
                 return t_head
             if flits <= EPOCH_CYCLES:
-                self.slot_recycles += 1
+                self._recycles += 1
                 old = value & _SLOT_OCC_MASK
                 if old:
                     self._overflow[((value >> _SLOT_SHIFT) << self._link_bits) | link] = old
@@ -330,13 +435,21 @@ class MeshNetwork:
         per-link walk is contractual).  Epoch-crossing paths and contended
         or recycled slots fall back to the generic walk, which reserves
         identically.
+
+        With the compiled kernel active the whole reservation is one FFI
+        call; only the traffic counters stay Python-side (integer sums,
+        so the split cannot change results).
         """
-        links, hops, span, phase_limit = path
+        hops = path[1]
         if not hops:
             return t_head
         self.link_flit_traversals += flits * hops
         self.messages_sent += 1
         self.flits_sent += flits
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.traverse(path[4], t_head, flits)
+        links, hops, span, phase_limit = path
         hop = self._hop_latency
         mode = self._mode
         if mode:
@@ -367,7 +480,7 @@ class MeshNetwork:
                         continue
                     # Stale slot: recycle it for this epoch (the retired
                     # occupancy stays readable through the overflow dict).
-                    self.slot_recycles += 1
+                    self._recycles += 1
                     old = value & _omask
                     if old:
                         self._overflow[
@@ -411,7 +524,7 @@ class MeshNetwork:
                     t_int += hop
                     continue
                 if claim_ok:
-                    self.slot_recycles += 1
+                    self._recycles += 1
                     old = value & _omask
                     if old:
                         overflow[((value >> _sshift) << link_bits) | link] = old
@@ -423,6 +536,68 @@ class MeshNetwork:
             t_int = int(t_head)
             epoch = -1  # force a row recompute on the next link
         return t_head + (flits - 1)
+
+    # ------------------------------------------------------------------
+    def traverse_chain(
+        self,
+        path1: tuple,
+        flits1: int,
+        t0: float,
+        busy_until: float,
+        gap: float,
+        path2: tuple,
+        flits2: int,
+    ) -> tuple[float, float]:
+        """Reserve a request leg and its dependent reply leg in one call.
+
+        Exactly equivalent to the unchained engine sequence::
+
+            t1 = traverse_path(path1, t0, flits1)        # request tail
+            start = max(t1, busy_until)                   # wait out the line
+            t2 = traverse_path(path2, start + gap, flits2)  # reply tail
+
+        and returns ``(t1, t2)`` so the caller can still account the
+        waiting time (``busy_until - t1``).  With the compiled kernel and
+        two non-empty legs this crosses the FFI boundary once per miss
+        instead of once per traversal; any empty leg (same-tile message)
+        composes the pure calls, which short-circuit without touching the
+        network either way.
+        """
+        kernel = self._kernel
+        if kernel is not None and path1[1] and path2[1]:
+            self.link_flit_traversals += flits1 * path1[1] + flits2 * path2[1]
+            self.messages_sent += 2
+            self.flits_sent += flits1 + flits2
+            return kernel.traverse_chain(
+                path1[4], flits1, t0, busy_until, gap, path2[4], flits2
+            )
+        t1 = self.traverse_path(path1, t0, flits1)
+        start = busy_until if busy_until > t1 else t1
+        return t1, self.traverse_path(path2, start + gap, flits2)
+
+    def traverse_many(self, paths: list, t_head: float, flits: int) -> list[float]:
+        """Reserve one same-sized message per path, all departing at
+        ``t_head``, in list order; return the per-path tail arrivals.
+
+        The invalidation rounds of the directory families reserve one INV
+        per sharer back to back - reservation *order* is contractual (it
+        decides who gets the contended slot), and this preserves it while
+        crossing the FFI boundary once for the whole round.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            traverse = self.traverse_path
+            return [traverse(path, t_head, flits) for path in paths]
+        handles = [path[4] for path in paths if path[1]]
+        if not handles:
+            return [t_head] * len(paths)
+        self.link_flit_traversals += flits * sum(path[1] for path in paths)
+        self.messages_sent += len(handles)
+        self.flits_sent += flits * len(handles)
+        if len(handles) == len(paths):
+            return list(kernel.traverse_many(t_head, flits, handles))
+        arrivals = iter(kernel.traverse_many(t_head, flits, handles))
+        return [next(arrivals) if path[1] else t_head for path in paths]
 
     # ------------------------------------------------------------------
     def unicast(self, src: int, dst: int, msg: MsgType, start: float) -> float:
@@ -459,7 +634,8 @@ class MeshNetwork:
         hop = self._hop_latency
         tail = flits - 1
         contended = self.model_contention
-        traverse = self._traverse_link
+        kernel = self._kernel
+        traverse = self._traverse_link if kernel is None else kernel.traverse_link
         for src, dst, link in edges:
             t_head = arrival[src] - tail if src != root else start
             if t_head < start:

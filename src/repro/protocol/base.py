@@ -121,7 +121,10 @@ class ProtocolEngineBase:
         "_net_paths",
         "_net_resolve",
         "_net_traverse",
+        "_net_chain",
+        "_net_many",
         "_net_flits",
+        "_chain_enabled",
     )
 
     def __init__(
@@ -168,7 +171,15 @@ class ProtocolEngineBase:
         self._net_paths = self.network.paths
         self._net_resolve = self.network.resolve_path
         self._net_traverse = self.network.traverse_path
+        self._net_chain = self.network.traverse_chain
+        self._net_many = self.network.traverse_many
         self._net_flits = [self.network.flits_for(msg) for msg in MsgType]
+        #: The chained miss shapes only engage when each chain call
+        #: actually saves an FFI crossing; without the kernel the probe
+        #: and precheck are pure overhead, so the fallback runs the
+        #: original inlined sequences (bit-identical either way - the
+        #: chain composition is exact).
+        self._chain_enabled = self.network.implementation == "accel"
 
         #: Shared L1-hit result: every field of a hit is constant (zero
         #: latency decomposition, ``hit=True``), so the hit fast path returns
@@ -370,6 +381,39 @@ class ProtocolEngineBase:
     # Word service at the home L2 (shared by the remote path of the
     # adaptive protocol and by the DLS / Neat families).
     # ------------------------------------------------------------------
+    def _word_service_bookkeeping(
+        self,
+        core: int,
+        is_write: bool,
+        line: int,
+        word: int,
+        l2line: L2Line,
+        slice_: L2Slice,
+    ) -> MsgType:
+        """The home-side word access minus the reply traversal.
+
+        Split from :meth:`_service_word_at_home` so the chained fast paths
+        (which reserve request + reply in one ``traverse_chain`` call) can
+        run the bookkeeping separately; none of it depends on time or on
+        network state, so the split cannot change results.  Returns the
+        reply message type (always determined by ``is_write`` alone).
+        """
+        if is_write:
+            slice_.word_writes += 1
+            self.energy.l2_word_writes += 1
+            l2line.dirty = True
+            l2line.dirty_words |= 1 << word
+            if self.verify:
+                token = self._issue_write_token(core)
+                l2line.data[word] = token
+                self.golden.write_word(line, word, token)
+            return MsgType.WORD_WRITE_ACK
+        slice_.word_reads += 1
+        self.energy.l2_word_reads += 1
+        if self.verify:
+            self.golden.check_read(line, word, l2line.data[word], f"remote read core {core}")
+        return MsgType.WORD_REPLY
+
     def _service_word_at_home(
         self,
         core: int,
@@ -381,26 +425,75 @@ class ProtocolEngineBase:
         slice_: L2Slice,
         t: float,
     ) -> float:
-        if is_write:
-            slice_.word_writes += 1
-            self.energy.l2_word_writes += 1
-            l2line.dirty = True
-            l2line.dirty_words |= 1 << word
-            if self.verify:
-                token = self._issue_write_token(core)
-                l2line.data[word] = token
-                self.golden.write_word(line, word, token)
-            reply = MsgType.WORD_WRITE_ACK
-        else:
-            slice_.word_reads += 1
-            self.energy.l2_word_reads += 1
-            if self.verify:
-                self.golden.check_read(line, word, l2line.data[word], f"remote read core {core}")
-            reply = MsgType.WORD_REPLY
+        reply = self._word_service_bookkeeping(core, is_write, line, word, l2line, slice_)
         path = self._net_paths[home * self._num_tiles + core]
         if path is None:
             path = self._net_resolve(home, core)
         return self._net_traverse(path, t, self._net_flits[reply])
+
+    # ------------------------------------------------------------------
+    # Chained request -> home -> reply delivery (one FFI crossing per
+    # miss with the compiled kernel; identical composition without it).
+    # ------------------------------------------------------------------
+    def _chain_probe(self, core: int, line: int):
+        """Cheap preconditions for a chained miss: memoized home, line
+        present at the home L2.  Returns ``(home, slice_, l2line)`` or
+        ``None`` when the general path (home resolution side effects, or
+        an off-chip fill whose timing interleaves with the reply) must
+        run instead.
+        """
+        if not self._chain_enabled:
+            return None
+        cached = self._line_home_cache.get(line)
+        if cached is None or not (cached[1] < 0 or cached[1] == core):
+            return None
+        home = cached[0]
+        slice_ = self.l2[home]
+        store = slice_.store
+        l2line = store._sets[line & store._set_mask].get(line)
+        if l2line is None:
+            return None
+        return home, slice_, l2line
+
+    def _chain_request_reply(
+        self,
+        core: int,
+        home: int,
+        l2line: L2Line,
+        slice_: L2Slice,
+        req_msg: MsgType,
+        reply_msg: MsgType,
+        now: float,
+        result: AccessResult,
+    ) -> tuple[float, float]:
+        """Reserve the request and reply legs in one ``traverse_chain``
+        call, with the same serialization/latency arithmetic and the same
+        counter updates as ``_deliver_request`` + a reply traversal.
+        Returns ``(t, reply_t)``: the home service time and the reply's
+        tail arrival at the requester.  Only valid when the reply message
+        type is known up front (the L2-hit fast shapes).
+        """
+        paths = self._net_paths
+        num_tiles = self._num_tiles
+        flits = self._net_flits
+        path1 = paths[core * num_tiles + home]
+        if path1 is None:
+            path1 = self._net_resolve(core, home)
+        path2 = paths[home * num_tiles + core]
+        if path2 is None:
+            path2 = self._net_resolve(home, core)
+        busy = l2line.busy_until
+        t1, reply_t = self._net_chain(
+            path1, flits[req_msg], now, busy, self._l2_latency, path2, flits[reply_msg]
+        )
+        if busy > t1:
+            result.l2_waiting = busy - t1
+            t = busy + self._l2_latency
+        else:
+            t = t1 + self._l2_latency
+        self.energy.l2_tag_accesses += 1
+        slice_.hits += 1
+        return t, reply_t
 
     # ------------------------------------------------------------------
     # L2 miss: fetch the line from off-chip memory.

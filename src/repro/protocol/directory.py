@@ -65,6 +65,7 @@ _READ_REQ = int(MsgType.READ_REQ)
 _WRITE_REQ = int(MsgType.WRITE_REQ)
 _UPGRADE_REQ = int(MsgType.UPGRADE_REQ)
 _LINE_REPLY = int(MsgType.LINE_REPLY)
+_WORD_REPLY = int(MsgType.WORD_REPLY)
 _WORD_WRITE_ACK = int(MsgType.WORD_WRITE_ACK)
 _INV_REQ = int(MsgType.INV_REQ)
 _INV_ACK = int(MsgType.INV_ACK)
@@ -183,33 +184,202 @@ class DirectoryEngine(ProtocolEngineBase):
             req_msg = _UPGRADE_REQ if upgrade else _WRITE_REQ
         else:
             req_msg = _READ_REQ
+        reply_t = None
         cached = self._line_home_cache.get(line)
         if cached is not None and (cached[1] < 0 or cached[1] == core):
             home = cached[0]
-            path = self._net_paths[core * self._num_tiles + home]
-            if path is None:
-                path = self._net_resolve(core, home)
-            t = self._net_traverse(path, now, self._net_flits[req_msg])
             slice_ = self.l2[home]
             store = slice_.store
             l2line = store._sets[line & store._set_mask].get(line)
-            if l2line is not None and l2line.busy_until > t:
-                result.l2_waiting = l2line.busy_until - t
-                t = l2line.busy_until
-            t += self._l2_latency
-            energy.l2_tag_accesses += 1
-            if l2line is None:
-                slice_.misses += 1
-                l2line, t, result.l2_offchip = self._l2_fill(home, line, t)
-            else:
-                slice_.hits += 1
+            # Clean precheck for the chained shape: when no invalidation
+            # round (writes: no foreign sharer) and no synchronous
+            # write-back (reads: no foreign exclusive owner) can fire, the
+            # request and reply are the only traversals of this miss, so
+            # both ride one traverse_chain call.  The check runs BEFORE
+            # classification: _remove_own_copy - the only directory
+            # mutation classification can make - removes the requester
+            # itself, which cannot make a clean line dirty.
+            if l2line is not None and self._chain_enabled:
+                dirent = l2line.directory
+                if is_write:
+                    sharers = dirent.sharers
+                    clean = not sharers or (len(sharers) == 1 and core in sharers)
+                else:
+                    clean = dirent.owner < 0 or dirent.owner == core
+                if clean:
+                    energy.directory_lookups += 1
+                    serviced_remote, upgrade = self._classify_requester(
+                        l1, l2line, core, line, upgrade
+                    )
+                    if serviced_remote:
+                        reply_msg = _WORD_WRITE_ACK if is_write else _WORD_REPLY
+                    elif is_write and upgrade:
+                        reply_msg = _WORD_WRITE_ACK
+                    else:
+                        reply_msg = _LINE_REPLY
+                    t, reply_t = self._chain_request_reply(
+                        core, home, l2line, slice_, req_msg, reply_msg, now, result
+                    )
+            if reply_t is None:
+                path = self._net_paths[core * self._num_tiles + home]
+                if path is None:
+                    path = self._net_resolve(core, home)
+                t = self._net_traverse(path, now, self._net_flits[req_msg])
+                if l2line is not None and l2line.busy_until > t:
+                    result.l2_waiting = l2line.busy_until - t
+                    t = l2line.busy_until
+                t += self._l2_latency
+                energy.l2_tag_accesses += 1
+                if l2line is None:
+                    slice_.misses += 1
+                    l2line, t, result.l2_offchip = self._l2_fill(home, line, t)
+                else:
+                    slice_.hits += 1
         else:
             home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
-        energy.directory_lookups += 1
+        if reply_t is None:
+            energy.directory_lookups += 1
+            # ---- classify the requester: private or remote sharer.
+            # Inlined copy of _classify_requester (the chained branch's
+            # canonical version above) - one method call per miss is
+            # measurable in this loop, and the unchained path is what the
+            # pure-Python fallback always runs.
+            classifier = self.classifier
+            if classifier is None:
+                mode, centry = _PRIVATE_MODE, None
+            else:
+                entries = l2line.locality
+                centry = entries.get(core) if entries is not None else None
+                if centry is None:
+                    centry = classifier.locality_entry(l2line, core, True)
+                if centry is not None:
+                    mode = centry.mode
+                else:
+                    classifier.vote_decisions += 1
+                    tracked = remote_votes = 0
+                    for e in entries.values():
+                        tracked += 1
+                        if e.mode is _REMOTE_MODE:
+                            remote_votes += 1
+                    mode = _REMOTE_MODE if 2 * remote_votes > tracked else _PRIVATE_MODE
 
-        # ---- classify the requester: private or remote sharer
-        # (classifier.resolve_mode inlined, including the tracked-entry
-        # probe of LimitedClassifier.locality_entry - one dict get).
+            if upgrade and mode is _REMOTE_MODE:
+                # Rare: the classifier lost this core's slot and votes
+                # remote while it still holds an S copy - fold it back.
+                self._remove_own_copy(core, line, l2line)
+                upgrade = False
+
+            serviced_remote = False
+            if mode is _REMOTE_MODE:
+                l1_min = l1.min_set_last_access(line)
+                promoted = classifier.on_remote_access(
+                    l2line, centry, l1_min, l1_min is None
+                )
+                serviced_remote = not promoted
+
+        # ---- miss classification uses the pre-service history
+        # (_classify_miss, inlined - Section 4.4).
+        history = self._history[core]
+        flags = history.get(line, 0)
+        if upgrade:
+            miss_type = MissType.UPGRADE
+        elif serviced_remote and flags & _EVER_REMOTE:
+            miss_type = MissType.WORD
+        elif not flags & _EVER_CACHED:
+            miss_type = MissType.COLD
+        elif flags & _LAST_REMOVAL_INVAL:
+            miss_type = MissType.SHARING
+        else:
+            miss_type = MissType.CAPACITY
+        result.miss_type = miss_type
+        result.remote = serviced_remote
+        self.miss_stats._miss_counts[miss_type] += 1
+
+        dirent = l2line.directory
+
+        # ---- coherence actions at the home.
+        if is_write:
+            # The no-other-sharers write (the common write miss) skips the
+            # invalidation round without a call; _invalidate_sharers keeps
+            # the same guard for its other callers.
+            sharers = dirent.sharers
+            if sharers and not (len(sharers) == 1 and core in sharers):
+                sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
+                t += sharers_lat
+                result.l2_sharers = sharers_lat
+            classifier = self.classifier
+            if classifier is not None:
+                classifier.on_write(l2line, core)
+        elif dirent.owner >= 0 and dirent.owner != core:
+            sharers_lat = self._sync_writeback(line, l2line, home, t)
+            t += sharers_lat
+            result.l2_sharers = sharers_lat
+
+        # ---- service: word access at L2 or private line grant.  On the
+        # chained path the reply leg is already reserved; only the
+        # time-independent bookkeeping halves run here.
+        if serviced_remote:
+            if reply_t is None:
+                reply_t = self._service_word_at_home(
+                    core, is_write, line, word, l2line, home, slice_, t
+                )
+            else:
+                self._word_service_bookkeeping(core, is_write, line, word, l2line, slice_)
+            flags |= _EVER_REMOTE
+        else:
+            if reply_t is None:
+                reply_t = self._service_private(
+                    core, is_write, line, word, l2line, home, slice_, t, upgrade
+                )
+            else:
+                self._grant_private(core, is_write, line, word, l2line, slice_, upgrade, reply_t)
+            flags |= _EVER_CACHED
+        history[line] = flags
+
+        # ---- settle timing and bookkeeping at the home.
+        # Writes and line grants own the line until the directory settles;
+        # remote word *reads* pipeline through the banked L2 (they take no
+        # ownership), so they only occupy the line for one cycle - this is
+        # why "a word miss only contributes marginally to the L2 cache
+        # waiting time" (Section 5.1.2).
+        if serviced_remote and not is_write:
+            busy = t - self._l2_latency + 1.0
+            if busy > l2line.busy_until:
+                l2line.busy_until = busy
+        else:
+            l2line.busy_until = t
+        # slice_.touch, inlined (bump LRU + last-access timestamp).
+        store = slice_.store
+        store._use_counter = counter = store._use_counter + 1
+        l2line.last_use = counter
+        l2line.last_access = t
+        energy.directory_updates += 1
+
+        result.latency = reply_t - now
+        result.l1_to_l2 = (
+            result.latency - result.l2_waiting - result.l2_sharers - result.l2_offchip
+        )
+        if self.verify:
+            dirent.check_invariants()
+        return result
+
+    # ------------------------------------------------------------------
+    # Requester classification (private vs remote sharer)
+    # ------------------------------------------------------------------
+    def _classify_requester(
+        self, l1, l2line: L2Line, core: int, line: int, upgrade: bool
+    ) -> tuple[bool, bool]:
+        """Ask the locality classifier how to service this requester
+        (classifier.resolve_mode inlined, including the tracked-entry
+        probe of LimitedClassifier.locality_entry - one dict get).
+
+        Touches no network or timing state, so it runs identically before
+        the request departs (chained shape, which needs the reply type up
+        front) or after it arrives (general path).  Returns
+        ``(serviced_remote, upgrade)``; ``upgrade`` folds to False when
+        the classifier votes remote for a core still holding an S copy
+        (the copy is folded back via ``_remove_own_copy``).
+        """
         classifier = self.classifier
         if classifier is None:
             mode, centry = _PRIVATE_MODE, None
@@ -245,83 +415,7 @@ class DirectoryEngine(ProtocolEngineBase):
                 l2line, centry, l1_min, l1_min is None
             )
             serviced_remote = not promoted
-
-        # ---- miss classification uses the pre-service history
-        # (_classify_miss, inlined - Section 4.4).
-        history = self._history[core]
-        flags = history.get(line, 0)
-        if upgrade:
-            miss_type = MissType.UPGRADE
-        elif serviced_remote and flags & _EVER_REMOTE:
-            miss_type = MissType.WORD
-        elif not flags & _EVER_CACHED:
-            miss_type = MissType.COLD
-        elif flags & _LAST_REMOVAL_INVAL:
-            miss_type = MissType.SHARING
-        else:
-            miss_type = MissType.CAPACITY
-        result.miss_type = miss_type
-        result.remote = serviced_remote
-        self.miss_stats._miss_counts[miss_type] += 1
-
-        dirent = l2line.directory
-
-        # ---- coherence actions at the home.
-        if is_write:
-            # The no-other-sharers write (the common write miss) skips the
-            # invalidation round without a call; _invalidate_sharers keeps
-            # the same guard for its other callers.
-            sharers = dirent.sharers
-            if sharers and not (len(sharers) == 1 and core in sharers):
-                sharers_lat = self._invalidate_sharers(line, l2line, home, core, t)
-                t += sharers_lat
-                result.l2_sharers = sharers_lat
-            if classifier is not None:
-                classifier.on_write(l2line, core)
-        elif dirent.owner >= 0 and dirent.owner != core:
-            sharers_lat = self._sync_writeback(line, l2line, home, t)
-            t += sharers_lat
-            result.l2_sharers = sharers_lat
-
-        # ---- service: word access at L2 or private line grant.
-        if serviced_remote:
-            reply_t = self._service_word_at_home(
-                core, is_write, line, word, l2line, home, slice_, t
-            )
-            flags |= _EVER_REMOTE
-        else:
-            reply_t = self._service_private(
-                core, is_write, line, word, l2line, home, slice_, t, upgrade
-            )
-            flags |= _EVER_CACHED
-        history[line] = flags
-
-        # ---- settle timing and bookkeeping at the home.
-        # Writes and line grants own the line until the directory settles;
-        # remote word *reads* pipeline through the banked L2 (they take no
-        # ownership), so they only occupy the line for one cycle - this is
-        # why "a word miss only contributes marginally to the L2 cache
-        # waiting time" (Section 5.1.2).
-        if serviced_remote and not is_write:
-            busy = t - self._l2_latency + 1.0
-            if busy > l2line.busy_until:
-                l2line.busy_until = busy
-        else:
-            l2line.busy_until = t
-        # slice_.touch, inlined (bump LRU + last-access timestamp).
-        store = slice_.store
-        store._use_counter = counter = store._use_counter + 1
-        l2line.last_use = counter
-        l2line.last_access = t
-        energy.directory_updates += 1
-
-        result.latency = reply_t - now
-        result.l1_to_l2 = (
-            result.latency - result.l2_waiting - result.l2_sharers - result.l2_offchip
-        )
-        if self.verify:
-            dirent.check_invariants()
-        return result
+        return serviced_remote, upgrade
 
     # ------------------------------------------------------------------
     # Private (line) service
@@ -338,6 +432,31 @@ class DirectoryEngine(ProtocolEngineBase):
         t: float,
         upgrade: bool,
     ) -> float:
+        # The reply type depends only on is_write/upgrade, never on the
+        # E-vs-S grant decision, so the traversal can run first and the
+        # grant bookkeeping (shared with the chained path) after.
+        reply = _WORD_WRITE_ACK if (is_write and upgrade) else _LINE_REPLY
+        path = self._net_paths[home * self._num_tiles + core]
+        if path is None:
+            path = self._net_resolve(home, core)
+        reply_t = self._net_traverse(path, t, self._net_flits[reply])
+        self._grant_private(core, is_write, line, word, l2line, slice_, upgrade, reply_t)
+        return reply_t
+
+    def _grant_private(
+        self,
+        core: int,
+        is_write: bool,
+        line: int,
+        word: int,
+        l2line: L2Line,
+        slice_: L2Slice,
+        upgrade: bool,
+        reply_t: float,
+    ) -> None:
+        """Directory/L1 bookkeeping of a private grant: everything
+        :meth:`_service_private` does except the reply traversal (the
+        chained fast path reserves that leg itself)."""
         dirent = l2line.directory
         classifier = self.classifier
         if classifier is not None:
@@ -347,20 +466,13 @@ class DirectoryEngine(ProtocolEngineBase):
 
         if is_write:
             policy.set_owner(dirent, core)
-            reply = _WORD_WRITE_ACK if upgrade else _LINE_REPLY
         else:
             policy.add_sharer(dirent, core)
             if len(dirent.sharers) == 1:
                 policy.set_owner(dirent, core)  # E grant
-            reply = _LINE_REPLY
         if not upgrade:
             slice_.line_reads += 1
             energy.l2_line_reads += 1
-
-        path = self._net_paths[home * self._num_tiles + core]
-        if path is None:
-            path = self._net_resolve(home, core)
-        reply_t = self._net_traverse(path, t, self._net_flits[reply])
 
         l1 = self.l1d[core]
         if upgrade:
@@ -376,7 +488,7 @@ class DirectoryEngine(ProtocolEngineBase):
             energy.l1d_writes += 1
             if self.verify:
                 self._verified_l1_write(core, entry, line, word)
-            return reply_t
+            return
 
         if is_write:
             state = MESIState.MODIFIED
@@ -398,7 +510,6 @@ class DirectoryEngine(ProtocolEngineBase):
             energy.l1d_reads += 1
             if self.verify:
                 self.golden.check_read(line, word, entry.data[word], f"fill read core {core}")
-        return reply_t
 
     # ------------------------------------------------------------------
     # Invalidations (exclusive requests) - Section 3.2 write handling.
@@ -434,13 +545,19 @@ class DirectoryEngine(ProtocolEngineBase):
             arrivals = self.network.broadcast(home, MsgType.INV_BROADCAST, t)
             self.sharer_policy.broadcast_invalidations += 1
         else:
-            inv_flits = flits_tab[_INV_REQ]
-            arrivals = {}
+            # All INVs depart together at ``t``: one batched traverse_many
+            # reserves them in target order (one FFI crossing with the
+            # compiled kernel).  The acks stay per-target below - each
+            # departs at its own INV arrival and may differ in type - and
+            # the all-INVs-then-acks reservation order is preserved.
+            inv_paths = []
             for c in targets:
                 path = paths[home * num_tiles + c]
                 if path is None:
                     path = resolve(home, c)
-                arrivals[c] = traverse(path, t, inv_flits)
+                inv_paths.append(path)
+            inv_flits = flits_tab[_INV_REQ]
+            arrivals = dict(zip(targets, self._net_many(inv_paths, t, inv_flits)))
             self.sharer_policy.unicast_invalidations += len(targets)
         done = t
         for c in targets:
@@ -489,32 +606,34 @@ class DirectoryEngine(ProtocolEngineBase):
     # Synchronous write-back (read request hits an exclusive owner).
     # ------------------------------------------------------------------
     def _sync_writeback(self, line: int, l2line: L2Line, home: int, t: float) -> float:
+        # The ack type is readable from the owner's L1 state before the
+        # WB_REQ departs, so both legs ride one traverse_chain call (the
+        # ack departs exactly at the request's arrival: no gap, no busy).
         dirent = l2line.directory
         owner = dirent.owner
-        paths = self._net_paths
-        num_tiles = self._num_tiles
-        path = paths[home * num_tiles + owner]
-        if path is None:
-            path = self._net_resolve(home, owner)
-        req_t = self._net_traverse(path, t, self._net_flits[_WB_REQ])
         entry = self.l1d[owner].lookup(line)
         if entry is None:
             raise CoherenceError(f"owner {owner} of line {line:#x} has no L1 copy")
-        if entry.state is MESIState.MODIFIED:
-            msg = _WB_DATA
+        dirty = entry.state is MESIState.MODIFIED
+        msg = _WB_DATA if dirty else _INV_ACK  # data vs clean downgrade ack
+        paths = self._net_paths
+        num_tiles = self._num_tiles
+        path1 = paths[home * num_tiles + owner]
+        if path1 is None:
+            path1 = self._net_resolve(home, owner)
+        path2 = paths[owner * num_tiles + home]
+        if path2 is None:
+            path2 = self._net_resolve(owner, home)
+        flits = self._net_flits
+        _, ack_t = self._net_chain(path1, flits[_WB_REQ], t, 0.0, 0.0, path2, flits[msg])
+        if dirty:
             self.energy.l1d_line_reads += 1
             self.energy.l2_line_writes += 1
             l2line.dirty = True
             if self.verify:
                 l2line.data = list(entry.data)
-        else:
-            msg = _INV_ACK  # clean downgrade acknowledgement
         entry.state = MESIState.SHARED
         self.sharer_policy.clear_owner(dirent)
-        path = paths[owner * num_tiles + home]
-        if path is None:
-            path = self._net_resolve(owner, home)
-        ack_t = self._net_traverse(path, req_t, self._net_flits[msg])
         return ack_t - t
 
     # ------------------------------------------------------------------

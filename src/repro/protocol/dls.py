@@ -73,11 +73,30 @@ class DLSEngine(ProtocolEngineBase):
         result.remote = True
 
         # ---- request to the word's home slice (writes carry the data word).
+        # ``data_word_home`` must run unconditionally (page-classification
+        # side effects); the chained shape only requires that no private
+        # page is being flushed and the line is resident at the home.
         req_msg = MsgType.WRITE_REQ if is_write else MsgType.READ_REQ
         home, flush_owner = self.placement.data_word_home(line, word, core)
-        home, slice_, l2line, t = self._deliver_request(
-            core, line, home, flush_owner, req_msg, now, result
-        )
+        l2line = None
+        if flush_owner is None and self._chain_enabled:
+            slice_ = self.l2[home]
+            store = slice_.store
+            l2line = store._sets[line & store._set_mask].get(line)
+        if l2line is not None:
+            # Resident line: request and reply reserved in one
+            # ``traverse_chain`` call (the reply type depends only on
+            # ``is_write``, so it is known before the request departs).
+            reply_msg = MsgType.WORD_WRITE_ACK if is_write else MsgType.WORD_REPLY
+            t, reply_t = self._chain_request_reply(
+                core, home, l2line, slice_, req_msg, reply_msg, now, result
+            )
+            self._word_service_bookkeeping(core, is_write, line, word, l2line, slice_)
+        else:
+            home, slice_, l2line, t = self._deliver_request(
+                core, line, home, flush_owner, req_msg, now, result
+            )
+            reply_t = None
 
         # ---- every access is a miss: first touch is cold, then word.
         flags = self._history[core].get(line, 0)
@@ -85,7 +104,10 @@ class DLSEngine(ProtocolEngineBase):
         self.miss_stats.record_miss(result.miss_type)
         self._history[core][line] = flags | _EVER_REMOTE
 
-        reply_t = self._service_word_at_home(core, is_write, line, word, l2line, home, slice_, t)
+        if reply_t is None:
+            reply_t = self._service_word_at_home(
+                core, is_write, line, word, l2line, home, slice_, t
+            )
 
         # ---- settle timing: writes serialize, word reads pipeline.
         if is_write:

@@ -167,8 +167,21 @@ class NeatEngine(ProtocolEngineBase):
         result = AccessResult()
 
         # ---- request to the home slice (writes carry the data word).
+        # A memoized home with the line resident chains request and reply
+        # in one ``traverse_chain`` call; the reply type is known up front
+        # (WORD_WRITE_ACK for the eager downgrade, LINE_REPLY for the
+        # line fetch) and the home-side bookkeeping is time-independent.
         req_msg = MsgType.WRITE_REQ if is_write else MsgType.READ_REQ
-        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+        probe = self._chain_probe(core, line)
+        if probe is not None:
+            home, slice_, l2line = probe
+            reply_msg = MsgType.WORD_WRITE_ACK if is_write else MsgType.LINE_REPLY
+            t, reply_t = self._chain_request_reply(
+                core, home, l2line, slice_, req_msg, reply_msg, now, result
+            )
+        else:
+            home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+            reply_t = None
 
         flags = self._history[core].get(line, 0)
         if is_write:
@@ -184,7 +197,12 @@ class NeatEngine(ProtocolEngineBase):
                 result.miss_type = MissType.UPGRADE if fresh else MissType.SHARING
             else:
                 result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=True)
-            reply_t = self._write_through(core, line, word, l2line, home, slice_, t)
+            if reply_t is None:
+                reply_t = self._write_through(core, line, word, l2line, home, slice_, t)
+            else:
+                old_version = self._line_version.get(line, 0)
+                self._word_service_bookkeeping(core, True, line, word, l2line, slice_)
+                self._downgrade_settle(core, line, word, old_version, reply_t)
             result.remote = True
             # History is re-read rather than taken from the pre-service
             # flags: _write_through may have self-invalidated a stale copy,
@@ -192,7 +210,10 @@ class NeatEngine(ProtocolEngineBase):
             self._history[core][line] = self._history[core].get(line, 0) | _EVER_REMOTE
             l2line.busy_until = t
         else:
-            reply_t = self._read_line(core, line, word, l2line, home, slice_, t)
+            if reply_t is None:
+                reply_t = self._read_line(core, line, word, l2line, home, slice_, t)
+            else:
+                self._fill_line(core, line, word, l2line, slice_, reply_t)
             result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=False)
             self._history[core][line] = flags | _EVER_CACHED
             # Reads take no home-side ownership: pipeline through the bank.
@@ -221,6 +242,15 @@ class NeatEngine(ProtocolEngineBase):
         # _service_word_at_home issues this write's token (verify mode);
         # self._write_token below refreshes the writer's own copy with it.
         reply_t = self._service_word_at_home(core, True, line, word, l2line, home, slice_, t)
+        return self._downgrade_settle(core, line, word, old_version, reply_t)
+
+    def _downgrade_settle(
+        self, core: int, line: int, word: int, old_version: int, reply_t: float
+    ) -> float:
+        """Version bump + own-copy refresh half of :meth:`_write_through`,
+        split out so the chained fast path (reply already reserved) can run
+        it after the bookkeeping; nothing here touches the network before
+        ``reply_t``, so the split cannot change results."""
         self.write_throughs += 1
         self._line_version[line] = old_version + 1
         l1 = self.l1d[core]
@@ -243,25 +273,37 @@ class NeatEngine(ProtocolEngineBase):
         self, core: int, line: int, word: int, l2line, home: int, slice_, t: float
     ) -> float:
         """Read miss: fetch the full line, install it clean SHARED."""
-        slice_.line_reads += 1
-        self.energy.l2_line_reads += 1
         path = self._net_paths[home * self._num_tiles + core]
         if path is None:
             path = self._net_resolve(home, core)
         reply_t = self._net_traverse(path, t, self._net_flits[int(MsgType.LINE_REPLY)])
+        self._fill_line(core, line, word, l2line, slice_, reply_t)
+        return reply_t
 
+    def _install_line(self, core: int, line: int, l2line, slice_, reply_t: float) -> None:
+        """Install the fetched line clean SHARED (counter half of the
+        fetch, shared by :meth:`_fill_line` and the buffered-write
+        allocate; runs after the reply leg is reserved either way)."""
+        slice_.line_reads += 1
+        self.energy.l2_line_reads += 1
         l1 = self.l1d[core]
         data = list(l2line.data) if self.verify else None
         evicted = l1.fill(line, MESIState.SHARED, reply_t, data)
         self.energy.l1d_line_fills += 1
         if evicted is not None:
             self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
+
+    def _fill_line(
+        self, core: int, line: int, word: int, l2line, slice_, reply_t: float
+    ) -> None:
+        """Fill bookkeeping of :meth:`_read_line` minus the reply
+        traversal (the chained fast path reserves that leg itself)."""
+        self._install_line(core, line, l2line, slice_, reply_t)
         self._copy_version[core][line] = self._line_version.get(line, 0)
         self.energy.l1d_reads += 1
         if self.verify:
-            entry = l1.lookup(line)
+            entry = self.l1d[core].lookup(line)
             self.golden.check_read(line, word, entry.data[word], f"Neat fill read core {core}")
-        return reply_t
 
     # ------------------------------------------------------------------
     # Release-boundary self-downgrade batching (neat_downgrade="release").
@@ -299,20 +341,21 @@ class NeatEngine(ProtocolEngineBase):
             result.miss_type = self._classify_miss(flags, upgrade=False, serviced_remote=False)
         l1.misses += 1
         self.energy.l1d_tag_accesses += 1
-        home, slice_, l2line, t = self._request_at_home(
-            core, line, MsgType.READ_REQ, now, result
-        )
-        slice_.line_reads += 1
-        self.energy.l2_line_reads += 1
-        path = self._net_paths[home * self._num_tiles + core]
-        if path is None:
-            path = self._net_resolve(home, core)
-        reply_t = self._net_traverse(path, t, self._net_flits[int(MsgType.LINE_REPLY)])
-        data = list(l2line.data) if self.verify else None
-        evicted = l1.fill(line, MESIState.SHARED, reply_t, data)
-        self.energy.l1d_line_fills += 1
-        if evicted is not None:
-            self._handle_l1_eviction(core, evicted[0], evicted[1], reply_t)
+        probe = self._chain_probe(core, line)
+        if probe is not None:
+            home, slice_, l2line = probe
+            t, reply_t = self._chain_request_reply(
+                core, home, l2line, slice_, MsgType.READ_REQ, MsgType.LINE_REPLY, now, result
+            )
+        else:
+            home, slice_, l2line, t = self._request_at_home(
+                core, line, MsgType.READ_REQ, now, result
+            )
+            path = self._net_paths[home * self._num_tiles + core]
+            if path is None:
+                path = self._net_resolve(home, core)
+            reply_t = self._net_traverse(path, t, self._net_flits[int(MsgType.LINE_REPLY)])
+        self._install_line(core, line, l2line, slice_, reply_t)
         versions[line] = self._line_version.get(line, 0)
         self.energy.l1d_writes += 1
         pending = self._pending[core]

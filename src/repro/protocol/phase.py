@@ -53,8 +53,11 @@ from repro.protocol.base import (
     AccessResult,
 )
 from repro.protocol.directory import (
+    _LINE_REPLY,
     _READ_REQ,
     _UPGRADE_REQ,
+    _WORD_REPLY,
+    _WORD_WRITE_ACK,
     _WRITE_REQ,
     DirectoryEngine,
 )
@@ -173,21 +176,56 @@ class PhaseEngine(DirectoryEngine):
             req_msg = _UPGRADE_REQ if upgrade else _WRITE_REQ
         else:
             req_msg = _READ_REQ
-        home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
-        energy.directory_lookups += 1
+        reply_t = None
+        cached = self._line_home_cache.get(line) if self._chain_enabled else None
+        if cached is not None and (cached[1] < 0 or cached[1] == core):
+            home = cached[0]
+            slice_ = self.l2[home]
+            store = slice_.store
+            l2line = store._sets[line & store._set_mask].get(line)
+            # Same clean precheck / chained shape as DirectoryEngine:
+            # _resolve_phase touches no network or timing state and never
+            # adds a sharer or owner, so it runs before the request departs
+            # and the reply rides the same traverse_chain call.
+            if l2line is not None:
+                dirent = l2line.directory
+                if is_write:
+                    sharers = dirent.sharers
+                    clean = not sharers or (len(sharers) == 1 and core in sharers)
+                else:
+                    clean = dirent.owner < 0 or dirent.owner == core
+                if clean:
+                    energy.directory_lookups += 1
+                    phase = self._resolve_phase(core, is_write, line, dirent)
+                    serviced_remote = phase == PHASE_WRITE_SHARED
+                    if upgrade and serviced_remote:
+                        self._remove_own_copy(core, line, l2line)
+                        upgrade = False
+                    if serviced_remote:
+                        reply_msg = _WORD_WRITE_ACK if is_write else _WORD_REPLY
+                    elif is_write and upgrade:
+                        reply_msg = _WORD_WRITE_ACK
+                    else:
+                        reply_msg = _LINE_REPLY
+                    t, reply_t = self._chain_request_reply(
+                        core, home, l2line, slice_, req_msg, reply_msg, now, result
+                    )
+        if reply_t is None:
+            home, slice_, l2line, t = self._request_at_home(core, line, req_msg, now, result)
+            energy.directory_lookups += 1
 
-        dirent = l2line.directory
+            dirent = l2line.directory
 
-        # ---- phase classification replaces the utilization classifier.
-        phase = self._resolve_phase(core, is_write, line, dirent)
-        serviced_remote = phase == PHASE_WRITE_SHARED
+            # ---- phase classification replaces the utilization classifier.
+            phase = self._resolve_phase(core, is_write, line, dirent)
+            serviced_remote = phase == PHASE_WRITE_SHARED
 
-        if upgrade and serviced_remote:
-            # The line just entered (or already was in) the write-shared
-            # phase while this core still holds an S copy: fold the copy
-            # back before servicing at the home.
-            self._remove_own_copy(core, line, l2line)
-            upgrade = False
+            if upgrade and serviced_remote:
+                # The line just entered (or already was in) the write-shared
+                # phase while this core still holds an S copy: fold the copy
+                # back before servicing at the home.
+                self._remove_own_copy(core, line, l2line)
+                upgrade = False
 
         # ---- miss classification uses the pre-service history.
         history = self._history[core]
@@ -218,17 +256,24 @@ class PhaseEngine(DirectoryEngine):
             t += sharers_lat
             result.l2_sharers = sharers_lat
 
-        # ---- service: word access at the home or private line grant.
+        # ---- service: word access at the home or private line grant (on
+        # the chained path the reply leg is already reserved).
         if serviced_remote:
             self.phase_word_accesses += 1
-            reply_t = self._service_word_at_home(
-                core, is_write, line, word, l2line, home, slice_, t
-            )
+            if reply_t is None:
+                reply_t = self._service_word_at_home(
+                    core, is_write, line, word, l2line, home, slice_, t
+                )
+            else:
+                self._word_service_bookkeeping(core, is_write, line, word, l2line, slice_)
             flags |= _EVER_REMOTE
         else:
-            reply_t = self._service_private(
-                core, is_write, line, word, l2line, home, slice_, t, upgrade
-            )
+            if reply_t is None:
+                reply_t = self._service_private(
+                    core, is_write, line, word, l2line, home, slice_, t, upgrade
+                )
+            else:
+                self._grant_private(core, is_write, line, word, l2line, slice_, upgrade, reply_t)
             flags |= _EVER_CACHED
         history[line] = flags
 

@@ -245,13 +245,15 @@ class VictimReplicationEngine(DirectoryEngine):
 
     # ------------------------------------------------------------------
     # The requester's own replica dies when it receives a private copy.
+    # (_grant_private, not _service_private: both the general path and the
+    # chained fast path dispatch through the grant bookkeeping.)
     # ------------------------------------------------------------------
-    def _service_private(self, core, is_write, line, word, l2line, home, slice_, t, upgrade):
+    def _grant_private(self, core, is_write, line, word, l2line, slice_, upgrade, reply_t):
         own = self.l2[core].lookup(line)
         if own is not None and own.is_replica:
             self.l2[core].remove(line)
             self.replica_evictions += 1
-        return super()._service_private(core, is_write, line, word, l2line, home, slice_, t, upgrade)
+        super()._grant_private(core, is_write, line, word, l2line, slice_, upgrade, reply_t)
 
     # ------------------------------------------------------------------
     # L2 victim selection may hit a replica (it has no directory state).

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import time
 
+from repro import accel
 from repro.common.errors import ConfigError
 from repro.common.params import (
     ArchConfig,
@@ -154,9 +155,20 @@ def run_bench(
         )
         for point in points
     ]
+    status = accel.status()
     report = {
-        "schema": 2,  # 2: rows carry the protocol family
+        "schema": 3,  # 2: rows carry the protocol family; 3: + implementation
         "metric": "records/second, best of repeats, process_time",
+        # Provenance: which mesh implementation produced these numbers.
+        # ``repro trend`` refuses accel-vs-fallback comparisons on it
+        # (unless --allow-impl-mismatch), because such a diff measures the
+        # kernel, not the change under test.
+        "implementation": status["implementation"],
+        "accel": {
+            "compiled": status["compiled"],
+            "compiler": status["compiler"],
+            "reason": status["reason"],
+        },
         "points": rows,
     }
     if json_path:
@@ -167,15 +179,104 @@ def run_bench(
 
 
 def format_report(report: dict) -> str:
-    lines = [
+    lines = []
+    impl = report.get("implementation")
+    if impl is not None:
+        info = report.get("accel", {})
+        detail = info.get("compiler") if impl == "accel" else info.get("reason")
+        lines.append(f"mesh implementation: {impl}" + (f" ({detail})" if detail else ""))
+    lines.append(
         f"{'workload':<14} {'family':<8} {'pct':>3} {'records':>9} "
         f"{'build rec/s':>12} {'simulate rec/s':>15}"
-    ]
+    )
     for row in report["points"]:
         lines.append(
             f"{row['workload']:<14} {row.get('family', 'pct'):<8} "
             f"{row['pct']:>3} {row['records']:>9} "
             f"{row['build_records_per_second']:>12} "
             f"{row['simulate_records_per_second']:>15}"
+        )
+    return "\n".join(lines)
+
+
+def _point_key(row: dict) -> tuple:
+    return (
+        row.get("workload"),
+        row.get("family", "pct"),
+        row.get("pct"),
+        row.get("cores"),
+        row.get("scale"),
+    )
+
+
+def load_baseline(path: str) -> dict:
+    """Load a saved bench report for ``repro bench --baseline``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read bench baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"unreadable bench baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or "points" not in payload:
+        raise ConfigError(
+            f"{path} is not a bench report (expected an object with 'points')"
+        )
+    return payload
+
+
+def format_baseline_diff(baseline: dict, fresh: dict) -> str:
+    """Per-point speedups of a fresh bench run over a saved report.
+
+    Speedup is ``fresh / baseline`` (values > 1 are faster).  Points
+    missing from either side are listed but not compared, and an
+    implementation mismatch between the two reports is called out - a
+    compiled-vs-fallback diff measures the kernel, not the code change.
+    """
+    base_impl = baseline.get("implementation", "unknown")
+    fresh_impl = fresh.get("implementation", "unknown")
+    lines = [f"baseline implementation: {base_impl}, fresh: {fresh_impl}"]
+    if base_impl != fresh_impl:
+        lines.append(
+            "WARNING: implementations differ - the speedups below include "
+            "the accel-vs-fallback gap, not just the code change"
+        )
+    base_points = {_point_key(row): row for row in baseline.get("points", [])}
+    lines.append(
+        f"{'workload':<14} {'family':<8} {'pct':>3} "
+        f"{'base sim rec/s':>15} {'fresh sim rec/s':>16} "
+        f"{'simulate':>9} {'build':>7}"
+    )
+    for row in fresh.get("points", []):
+        key = _point_key(row)
+        base = base_points.pop(key, None)
+        prefix = (
+            f"{row['workload']:<14} {row.get('family', 'pct'):<8} {row['pct']:>3} "
+        )
+        if base is None:
+            lines.append(prefix + "(not in baseline)")
+            continue
+        ratios = []
+        for name in ("simulate_records_per_second", "build_records_per_second"):
+            old, new = base.get(name), row.get(name)
+            ratios.append(
+                new / old
+                if isinstance(old, (int, float))
+                and isinstance(new, (int, float))
+                and old
+                else None
+            )
+        sim, build = ratios
+        lines.append(
+            prefix
+            + f"{base.get('simulate_records_per_second', 0):>15} "
+            + f"{row['simulate_records_per_second']:>16} "
+            + (f"{sim:>8.2f}x" if sim is not None else f"{'n/a':>9}")
+            + " "
+            + (f"{build:>6.2f}x" if build is not None else f"{'n/a':>7}")
+        )
+    for key in base_points:
+        lines.append(
+            f"{key[0]:<14} {key[1]:<8} {key[2]:>3} (baseline only, not re-run)"
         )
     return "\n".join(lines)

@@ -210,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetitions per metric; best-of is reported")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write the report as JSON to PATH")
+    bench.add_argument("--baseline", metavar="FILE", default=None,
+                       help="diff the fresh run against a saved bench report "
+                       "(BENCH_*.json / bench --json): per-point speedups, "
+                       "with the mesh implementation of both sides called out")
+
+    accel_info = sub.add_parser(
+        "accel-info",
+        help="show the compiled mesh-kernel status: implementation, build "
+        "cache, compiler, or why the pure-Python fallback is active "
+        "(set REPRO_NO_ACCEL=1 to force the fallback)",
+    )
+    accel_info.add_argument("--json", action="store_true",
+                            help="emit the status as one JSON object")
+    accel_info.add_argument("--require-compiled", action="store_true",
+                            help="exit 1 unless the compiled kernel is active "
+                            "(CI guard against silently benching the fallback)")
 
     events = sub.add_parser(
         "events",
@@ -262,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 1 when any compared metric regressed by "
                        "more than FRACTION (bench sources gate on simulate "
                        "throughput, e.g. 0.30 = fail on a >30%% drop)")
+    trend.add_argument("--allow-impl-mismatch", action="store_true",
+                       help="compare bench reports even when one was produced "
+                       "by the compiled mesh kernel and the other by the "
+                       "pure-Python fallback (normally an error: such a diff "
+                       "measures the accelerator, not the change under test)")
 
     # Delegating verbs: argument parsing happens in the delegate (main()
     # forwards everything after the verb verbatim; argparse's REMAINDER
@@ -401,7 +422,13 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.runner.bench import DEFAULT_POINTS, format_report, run_bench
+    from repro.runner.bench import (
+        DEFAULT_POINTS,
+        format_baseline_diff,
+        format_report,
+        load_baseline,
+        run_bench,
+    )
 
     if args.workloads:
         points = tuple((name, args.pct, args.family) for name in args.workloads)
@@ -411,6 +438,9 @@ def _cmd_bench(args) -> int:
                       "points carry fixed families)")
             return 2
         points = DEFAULT_POINTS
+    # Load the baseline before spending minutes benching: a bad path or a
+    # non-bench file should fail immediately.
+    baseline = load_baseline(args.baseline) if args.baseline else None
     report = run_bench(
         points,
         cores=args.cores,
@@ -419,8 +449,43 @@ def _cmd_bench(args) -> int:
         json_path=args.json,
     )
     print(format_report(report))
+    if baseline is not None:
+        print()
+        print(format_baseline_diff(baseline, report))
     if args.json:
         log.info("wrote %s", args.json)
+    return 0
+
+
+def _cmd_accel_info(args) -> int:
+    from repro import accel
+
+    status = accel.status()
+    if obs.TELEMETRY.enabled:
+        # Mirror the status into the telemetry stream so a sweep's event
+        # file records which implementation its numbers came from.
+        obs.TELEMETRY.event("accel.info", **status)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(f"implementation: {status['implementation']}")
+        print(f"compiled:       {'yes' if status['compiled'] else 'no'}")
+        if status["disabled_by_env"]:
+            print("disabled:       yes (REPRO_NO_ACCEL is set)")
+        if status["compiler"]:
+            print(f"compiler:       {status['compiler']}")
+        print(f"cache dir:      {status['cache_dir']}")
+        if status["artifact"]:
+            print(f"artifact:       {status['artifact']}")
+        print(f"source:         {status['source']}")
+        if status["reason"]:
+            print(f"reason:         {status['reason']}")
+    if args.require_compiled and status["implementation"] != "accel":
+        log.error(
+            "compiled mesh kernel required but not active: %s",
+            status["reason"] or "unknown reason",
+        )
+        return 1
     return 0
 
 
@@ -437,7 +502,8 @@ def _cmd_trend(args) -> int:
     from repro.runner.trend import format_rows, run_trend, worst_regression
 
     rows, code = run_trend(
-        args.old, args.new, assert_within=args.assert_within, metric=args.metric
+        args.old, args.new, assert_within=args.assert_within, metric=args.metric,
+        allow_impl_mismatch=args.allow_impl_mismatch,
     )
     print(format_rows(rows))
     if args.assert_within is not None:
@@ -514,6 +580,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "accel-info": _cmd_accel_info,
     "trend": _cmd_trend,
     "events": _cmd_events,
     "serve-stats": _cmd_serve_stats,

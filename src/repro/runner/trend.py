@@ -98,6 +98,28 @@ def _load_cache(path: Path) -> dict:
     return points
 
 
+def source_implementation(path: str | Path) -> str | None:
+    """The mesh implementation a bench report records, if any.
+
+    Schema-3 bench reports (PR 8+) stamp ``implementation``:
+    ``"accel"`` (compiled kernel) or ``"fallback"`` (pure Python).
+    Older reports and cache logs return ``None`` (no provenance - the
+    mismatch guard lets those through).
+    """
+    p = Path(path)
+    if p.is_dir() or p.suffix == ".jsonl" or p.name == "results.jsonl":
+        return None
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(payload, dict):
+        impl = payload.get("implementation")
+        if isinstance(impl, str):
+            return impl
+    return None
+
+
 def load_source(path: str | Path) -> tuple[str, dict]:
     """Load a trend source; returns ``(kind, points)`` with kind
     "bench" or "cache"."""
@@ -180,12 +202,19 @@ def run_trend(
     new_path: str,
     assert_within: float | None = None,
     metric: str | None = None,
+    allow_impl_mismatch: bool = False,
 ) -> tuple[list[dict], int]:
     """Compare two sources; returns (rows, exit_code).
 
     With ``assert_within=R``, exit code 1 when any compared metric (or the
     selected ``metric``) regressed by more than the fraction ``R`` - e.g.
     0.30 fails the perf-smoke job when simulate throughput drops >30%.
+
+    Bench reports carrying implementation provenance must agree on it:
+    comparing an accel report against a fallback report measures the
+    compiled kernel, not the change under test, so it fails loudly unless
+    ``allow_impl_mismatch`` is set.  Reports without provenance (pre-PR-8)
+    are let through.
     """
     old_kind, old_points = load_source(old_path)
     new_kind, new_points = load_source(new_path)
@@ -193,6 +222,16 @@ def run_trend(
         raise ReproError(
             f"cannot compare a {old_kind} source against a {new_kind} source"
         )
+    if old_kind == "bench" and not allow_impl_mismatch:
+        old_impl = source_implementation(old_path)
+        new_impl = source_implementation(new_path)
+        if old_impl is not None and new_impl is not None and old_impl != new_impl:
+            raise ReproError(
+                f"bench reports use different mesh implementations: "
+                f"{old_path} is {old_impl!r}, {new_path} is {new_impl!r}; "
+                "this comparison measures the accelerator, not the change "
+                "under test - pass --allow-impl-mismatch to compare anyway"
+            )
     if old_kind == "bench" and metric is None and assert_within is not None:
         # CI contract: bench gating is on simulate throughput.
         metric = "simulate_records_per_second"

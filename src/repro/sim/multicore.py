@@ -104,6 +104,10 @@ class Simulator:
                 cores=arch.num_cores,
                 records=trace.total_records,
             )
+            # Which mesh implementation this run actually uses (compiled
+            # kernel vs pure-Python ring buffer) - the provenance the bench
+            # reports and the trend gate rely on (DESIGN.md sec. 12).
+            tel.event("accel.active", implementation=engine.network.implementation)
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -160,6 +164,7 @@ class Simulator:
             tel.count("classifier.remote_accesses", classifier.remote_accesses)
             tel.count("classifier.vote_decisions", classifier.vote_decisions)
         network = engine.network
+        tel.count(f"sim.runs.{network.implementation}")
         tel.count("mesh.messages", network.messages_sent)
         tel.count("mesh.flits", network.flits_sent)
         tel.count("mesh.link_flit_traversals", network.link_flit_traversals)

@@ -1,0 +1,145 @@
+"""Build-cache and fallback-selection tests for the mesh accelerator.
+
+The compile-at-import machinery (``repro.accel.build``) keys its artifact
+cache on source mtime + content hash + compiler id + ABI tag, and every
+failure mode degrades to the pure-Python ring buffer with a single warning
+and *identical* simulation results.  These tests pin:
+
+* a fresh cache compiles once and then reuses the artifact,
+* touching the kernel source (mtime) forces a recompile,
+* ``REPRO_NO_ACCEL=1`` forces the fallback without touching the cache,
+* a missing compiler falls back with one warning and bit-identical
+  ``RunStats``.
+
+All tests point ``REPRO_ACCEL_CACHE`` at a tmp dir and copy the kernel
+source, so the user-level cache and the repo tree are never mutated.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import shutil
+
+import pytest
+
+from repro import accel
+from repro.accel import build
+from repro.common.params import ArchConfig, baseline_protocol
+from repro.network.mesh import MeshNetwork
+from repro.sim.multicore import Simulator
+from repro.workloads.registry import load_workload
+
+pytestmark = pytest.mark.skipif(
+    build.find_compiler() is None, reason="no C compiler on this host"
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test builds into its own cache and resets the one-shot state
+    (before AND after, so the rest of the suite re-selects normally)."""
+    monkeypatch.setenv(build.CACHE_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(build.NO_ACCEL_ENV, raising=False)
+    accel.reset()
+    yield tmp_path
+    accel.reset()
+
+
+@pytest.fixture
+def kernel_copy(tmp_path):
+    """A private copy of ``_kernel.c`` whose mtime tests may touch."""
+    source = tmp_path / "_kernel.c"
+    shutil.copy(build.SOURCE, source)
+    return source
+
+
+class TestBuildCache:
+    def test_fresh_cache_compiles_then_reuses(self, kernel_copy):
+        artifact, info = build.build_artifact(kernel_copy)
+        assert artifact is not None and artifact.exists(), info["reason"]
+        assert info["rebuilt"] is True
+        # The metadata sidecar records full provenance.
+        meta = json.loads(build.artifact_paths(kernel_copy)[1].read_text())
+        assert meta["compiler_id"] == info["compiler"]
+        stamp = artifact.stat().st_mtime_ns
+
+        again, info2 = build.build_artifact(kernel_copy)
+        assert again == artifact
+        assert info2["rebuilt"] is False
+        assert artifact.stat().st_mtime_ns == stamp, "stale artifact was rebuilt"
+
+    def test_touched_source_forces_recompile(self, kernel_copy):
+        artifact, _ = build.build_artifact(kernel_copy)
+        assert artifact is not None
+        # Advance the source mtime past the artifact's.
+        future = artifact.stat().st_mtime + 60.0
+        os.utime(kernel_copy, (future, future))
+        _, info = build.build_artifact(kernel_copy)
+        assert info["rebuilt"] is True
+
+    def test_compiler_swap_forces_recompile(self, kernel_copy, monkeypatch):
+        artifact, _ = build.build_artifact(kernel_copy)
+        assert artifact is not None
+        monkeypatch.setattr(
+            build, "compiler_id", lambda cc: f"{cc} (different banner)"
+        )
+        _, info = build.build_artifact(kernel_copy)
+        assert info["rebuilt"] is True
+
+    def test_rebuilt_artifact_still_loads(self, kernel_copy):
+        artifact, info = build.build_artifact(kernel_copy)
+        assert artifact is not None, info["reason"]
+        module = build.load_module(artifact)
+        assert hasattr(module, "MeshKernel")
+
+
+class TestSelection:
+    ARCH = ArchConfig(num_cores=16, num_memory_controllers=4)
+
+    def test_no_accel_env_forces_fallback(self, monkeypatch):
+        assert accel.mesh_kernel_class() is not None  # compiles into tmp cache
+        monkeypatch.setenv(build.NO_ACCEL_ENV, "1")
+        assert accel.mesh_kernel_class() is None
+        net = MeshNetwork(self.ARCH)
+        assert net.implementation == "fallback"
+        status = accel.status()
+        assert status["implementation"] == "fallback"
+        assert status["disabled_by_env"] is True
+        assert build.NO_ACCEL_ENV in status["reason"]
+        # The env var is re-read per construction: unset -> accel again.
+        monkeypatch.delenv(build.NO_ACCEL_ENV)
+        assert MeshNetwork(self.ARCH).implementation == "accel"
+
+    def test_missing_compiler_falls_back_with_single_warning(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(build, "find_compiler", lambda: None)
+        with caplog.at_level(logging.WARNING, logger="repro.accel"):
+            assert accel.mesh_kernel_class() is None
+            assert accel.mesh_kernel_class() is None  # second probe: no re-log
+        warnings = [
+            r for r in caplog.records if "accelerator unavailable" in r.message
+        ]
+        assert len(warnings) == 1
+        assert "no C compiler" in warnings[0].getMessage()
+        status = accel.status()
+        assert status["implementation"] == "fallback"
+        assert status["compiled"] is False
+        assert "no C compiler" in status["reason"]
+
+    def test_missing_compiler_runstats_identical(self, monkeypatch):
+        """The fallback is not a degraded mode: a compiler-less host
+        produces bit-identical RunStats to the compiled kernel."""
+        trace = load_workload("tsp", self.ARCH, scale="tiny")
+        with_kernel = Simulator(self.ARCH, baseline_protocol(), warmup=True).run(
+            trace
+        )
+        assert accel.active_impl() == "accel"
+
+        accel.reset()
+        monkeypatch.setattr(build, "find_compiler", lambda: None)
+        without = Simulator(self.ARCH, baseline_protocol(), warmup=True).run(trace)
+        assert accel.active_impl() == "fallback"
+        assert with_kernel.to_dict() == without.to_dict()

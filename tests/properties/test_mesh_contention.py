@@ -18,14 +18,28 @@ Two properties pin it:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import accel as accel_pkg
 from repro.common.params import ArchConfig
 from repro.network.mesh import EPOCH_CYCLES, EPOCH_SHIFT, WINDOW_EPOCHS, MeshNetwork
 from repro.network.messages import MsgType
 
 ARCH16 = ArchConfig(num_cores=16, num_memory_controllers=4)
+
+#: Every property in this module runs against BOTH traversal
+#: implementations: the pure-Python ring buffer and the compiled kernel
+#: (skipped where no compiler is available).  The kernel's contract is
+#: bit-identity, so the same assertions pin both.
+BOTH_IMPLS = pytest.mark.parametrize("impl", ["fallback", "accel"])
+
+
+def make_net(impl: str, arch: ArchConfig = ARCH16) -> MeshNetwork:
+    if impl == "accel" and accel_pkg.mesh_kernel_class() is None:
+        pytest.skip("compiled mesh kernel unavailable")
+    return MeshNetwork(arch, accel=(impl == "accel"))
 
 
 class ReferenceEpochModel:
@@ -109,17 +123,19 @@ def message_stream(draw, num_tiles: int, n_min: int = 1, n_max: int = 60):
 
 
 class TestFlitConservation:
+    @BOTH_IMPLS
     @settings(max_examples=60, deadline=None)
     @given(data=st.data())
-    def test_total_reserved_equals_flits_times_links_crossed(self, data):
-        net = MeshNetwork(ARCH16)
+    def test_total_reserved_equals_flits_times_links_crossed(self, impl, data):
+        net = make_net(impl)
         for src, dst, flits, start in message_stream(data.draw, 16):
             path = net.resolve_path(src, dst)
             net.traverse_path(path, start, flits)
         assert net.reserved_flits() == net.link_flit_traversals
 
-    def test_conservation_includes_far_future_overflow(self):
-        net = MeshNetwork(ARCH16)
+    @BOTH_IMPLS
+    def test_conservation_includes_far_future_overflow(self, impl):
+        net = make_net(impl)
         path = net.resolve_path(0, 3)
         # A reservation far beyond the window must land in overflow...
         far = float(10 * WINDOW_EPOCHS * EPOCH_CYCLES)
@@ -130,13 +146,15 @@ class TestFlitConservation:
         assert net.reserved_flits() == net.link_flit_traversals
         assert net._overflow, "far-future reservation should sit in overflow"
 
-    def test_broadcast_reserves_one_slot_per_tree_edge_flit(self):
-        net = MeshNetwork(ARCH16)
+    @BOTH_IMPLS
+    def test_broadcast_reserves_one_slot_per_tree_edge_flit(self, impl):
+        net = make_net(impl)
         net.broadcast(5, MsgType.INV_BROADCAST, 0.0)
         assert net.reserved_flits() == net.link_flit_traversals == 15
 
-    def test_reset_contention_clears_all_reservations(self):
-        net = MeshNetwork(ARCH16)
+    @BOTH_IMPLS
+    def test_reset_contention_clears_all_reservations(self, impl):
+        net = make_net(impl)
         net.traverse_path(net.resolve_path(0, 15), 0.0, 9)
         net.traverse_path(net.resolve_path(0, 15), 1e6, 9)  # overflow side
         net.reset_contention()
@@ -145,10 +163,11 @@ class TestFlitConservation:
 
 
 class TestReferenceEquivalence:
+    @BOTH_IMPLS
     @settings(max_examples=60, deadline=None)
     @given(data=st.data())
-    def test_randomized_stream_matches_reference_model(self, data):
-        net = MeshNetwork(ARCH16)
+    def test_randomized_stream_matches_reference_model(self, impl, data):
+        net = make_net(impl)
         ref = ReferenceEpochModel(net)
         for src, dst, flits, start in message_stream(data.draw, 16):
             path = net.resolve_path(src, dst)
@@ -157,10 +176,11 @@ class TestReferenceEquivalence:
             assert got == want, (src, dst, flits, start)
         assert net.occupancy_map() == ref.occupancy_map()
 
-    def test_window_recycling_preserves_retired_epochs(self):
+    @BOTH_IMPLS
+    def test_window_recycling_preserves_retired_epochs(self, impl):
         """Traffic sweeping far past the window must not lose retired
         occupancy: a later message 'in the past' sees the original load."""
-        net = MeshNetwork(ARCH16)
+        net = make_net(impl)
         ref = ReferenceEpochModel(net)
         path = net.resolve_path(0, 1)
         # Saturate epoch 0 on the link.
@@ -176,9 +196,25 @@ class TestReferenceEquivalence:
         assert got > 1.0 + net.arch.hop_latency + 8  # it was, in fact, delayed
         assert net.occupancy_map() == ref.occupancy_map()
 
-    def test_unicast_equals_traverse_path_on_resolved_route(self):
-        a = MeshNetwork(ARCH16)
-        b = MeshNetwork(ARCH16)
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_accel_matches_fallback_bit_for_bit(self, data):
+        """The compiled kernel's contract is bit-identity, not mere
+        closeness: identical departure floats and occupancy under the
+        same stream."""
+        kernel = make_net("accel")
+        python = make_net("fallback")
+        for src, dst, flits, start in message_stream(data.draw, 16):
+            got = kernel.traverse_path(kernel.resolve_path(src, dst), start, flits)
+            want = python.traverse_path(python.resolve_path(src, dst), start, flits)
+            assert got == want, (src, dst, flits, start)
+        assert kernel.occupancy_map() == python.occupancy_map()
+        assert kernel.reserved_flits() == python.reserved_flits()
+
+    @BOTH_IMPLS
+    def test_unicast_equals_traverse_path_on_resolved_route(self, impl):
+        a = make_net(impl)
+        b = make_net(impl)
         t = 0.0
         for src in range(16):
             for dst in range(16):

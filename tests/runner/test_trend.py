@@ -108,6 +108,59 @@ class TestBenchTrend:
         assert "REGRESSION" in out.err
 
 
+class TestImplementationGuard:
+    """Schema-3 reports stamp the mesh implementation; trend refuses to
+    compare accel against fallback (the diff would measure the kernel)."""
+
+    def stamped(self, simulate: int, impl: str) -> dict:
+        report = bench_report(simulate)
+        report["schema"] = 3
+        report["implementation"] = impl
+        report["accel"] = {"compiled": impl == "accel", "compiler": None, "reason": None}
+        return report
+
+    def test_mismatched_implementations_rejected(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped(100_000, "accel"))
+        write_json(new, self.stamped(100_000, "fallback"))
+        with pytest.raises(ReproError, match="different mesh implementations"):
+            run_trend(str(old), str(new), assert_within=0.30)
+
+    def test_allow_impl_mismatch_overrides(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped(100_000, "accel"))
+        write_json(new, self.stamped(100_000, "fallback"))
+        rows, code = run_trend(
+            str(old), str(new), assert_within=0.30, allow_impl_mismatch=True
+        )
+        assert code == 0 and rows
+
+    def test_matching_implementations_compare(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped(100_000, "fallback"))
+        write_json(new, self.stamped(100_000, "fallback"))
+        _rows, code = run_trend(str(old), str(new), assert_within=0.30)
+        assert code == 0
+
+    def test_unstamped_legacy_reports_compare(self, tmp_path):
+        # Pre-PR-8 reports carry no provenance: let them through.
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, bench_report(100_000))
+        write_json(new, self.stamped(100_000, "accel"))
+        _rows, code = run_trend(str(old), str(new), assert_within=0.30)
+        assert code == 0
+
+    def test_cli_flag_overrides(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped(100_000, "accel"))
+        write_json(new, self.stamped(100_000, "fallback"))
+        assert cli_main(["trend", str(old), str(new)]) == 1
+        assert "different mesh implementations" in capsys.readouterr().err
+        assert (
+            cli_main(["trend", str(old), str(new), "--allow-impl-mismatch"]) == 0
+        )
+
+
 class TestCacheTrend:
     def test_matching_keys_compare_completion_time(self, tmp_path):
         old, new = tmp_path / "old.jsonl", tmp_path / "new.jsonl"
