@@ -131,6 +131,14 @@ def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
         "reason": None,
         "rebuilt": False,
     }
+    from repro.faults import FAULTS
+
+    if FAULTS.active and FAULTS.trigger("accel.build_fail") is not None:
+        # Chaos failpoint: a broken toolchain at first import.  Taking the
+        # same degrade-to-None path as a real compiler failure proves the
+        # pure-Python fallback keeps RunStats bit-identical.
+        info["reason"] = "fault injected: accel.build_fail"
+        return None, info
     if not source.exists():
         info["reason"] = f"kernel source missing: {source}"
         return None, info

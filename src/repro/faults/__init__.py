@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the execution tier (DESIGN.md sec. 13).
+
+``repro.faults`` provides named failpoints threaded through the result
+store, the execution backends, the ``repro serve`` daemon, the accelerator
+build and the telemetry sink, driven by a seeded :class:`FaultSchedule`
+that child processes inherit through the :data:`FAULTS_ENV` environment
+variable.  ``repro chaos`` (:mod:`repro.faults.chaos`) runs a differential
+sweep under a single-fault matrix and checks the tier's core invariant:
+
+    any single infrastructure fault yields either ``RunStats`` bit-identical
+    to a fault-free serial reference, or a loud typed error -
+    never silent wrong data.
+"""
+
+from repro.faults.core import (
+    FAILPOINTS,
+    FAULTS,
+    FAULTS_ENV,
+    ROLES,
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    activate_from_env,
+)
+
+__all__ = [
+    "FAILPOINTS",
+    "FAULTS",
+    "FAULTS_ENV",
+    "ROLES",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSchedule",
+    "activate_from_env",
+]

@@ -44,6 +44,7 @@ import time
 from pathlib import Path
 
 from repro.common.errors import ConfigError
+from repro.faults import FAULTS
 
 #: Bump when the record grammar changes incompatibly.  Every record carries
 #: it as ``"v"``; readers skip records from other schemas.
@@ -136,6 +137,10 @@ class Telemetry:
         if attrs:
             record["attrs"] = attrs
         try:
+            if FAULTS.active and FAULTS.trigger("obs.sink_dead") is not None:
+                # Chaos failpoint: the sink dying mid-run must take the
+                # warn-and-self-disable path below, never the sweep.
+                raise OSError("fault injected: telemetry sink died")
             data = (json.dumps(record, sort_keys=True, default=str) + "\n").encode("utf-8")
             view = memoryview(data)
             while view:

@@ -69,11 +69,18 @@ def make_backend(
     start_method: str = "spawn",
     hosts: str | Iterable[tuple[str, int]] | None = None,
     window: int | None = None,
+    job_timeout: float | None = None,
+    frame_timeout: float | None = None,
 ):
     """Resolve a CLI-style backend spec into an :class:`ExecutionBackend`.
 
     ``auto`` keeps the historical behavior: hosts given -> remote, else a
     process pool when ``workers > 1``, else serial in-process execution.
+
+    ``job_timeout`` arms the process pool's hung-worker watchdog;
+    ``frame_timeout`` arms the remote backend's stalled-host detection.
+    Each applies only to its backend; the serial reference has no workers
+    to watchdog, so both are ignored for ``local``.
     """
     if spec not in BACKEND_NAMES:
         raise ConfigError(f"unknown backend {spec!r} (choose from {BACKEND_NAMES})")
@@ -84,12 +91,17 @@ def make_backend(
     if spec == "local":
         return LocalBackend()
     if spec == "process":
-        return ProcessBackend(workers=max(1, workers), start_method=start_method)
+        return ProcessBackend(
+            workers=max(1, workers),
+            start_method=start_method,
+            job_timeout=job_timeout,
+        )
     if not hosts:
         raise ConfigError("remote backend needs --hosts host:port[,host:port...]")
     return RemoteBackend(
         hosts=parse_hosts(hosts),
         window=DEFAULT_WINDOW if window is None else window,
+        frame_timeout=frame_timeout,
     )
 
 

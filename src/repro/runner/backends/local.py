@@ -20,10 +20,13 @@ suite holds every other backend to.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Iterable, Iterator
 
 from repro.common import rng
 from repro.common.errors import RunnerError
+from repro.faults import FAULTS
 from repro.obs import TELEMETRY
 from repro.runner.job import Job
 from repro.sim.multicore import Simulator
@@ -98,6 +101,17 @@ def run_task(task: Task) -> tuple[str, dict]:
             "bare-payload task shape was removed: dispatch (payload, trace|None) tuples"
         )
     payload, trace = task
+    if FAULTS.active:
+        # Failpoints for the chaos tier: a worker that dies or wedges
+        # mid-job.  Scoped rules (scope="worker") leave the serial parent
+        # untouched, which is what lets the watchdog's serial fallback
+        # actually finish the batch.
+        rule = FAULTS.trigger("worker.crash")
+        if rule is not None:
+            os._exit(int(rule.arg("exit_code", 3)))
+        rule = FAULTS.trigger("worker.hang")
+        if rule is not None:
+            time.sleep(float(rule.arg("hang_s", 3600.0)))
     job = Job.from_dict(payload)
     if trace is not None and job.trace_key not in _TRACE_CACHE:
         _memoize_trace(job.trace_key, trace)

@@ -44,15 +44,19 @@ import asyncio
 import contextlib
 import json
 import logging
+import os
 import queue
+import signal
 import socket
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.common.errors import ConfigError, RunnerError
+from repro.faults import FAULTS
 from repro.obs import TELEMETRY
 from repro.runner.backends.local import Task
 from repro.runner.backends.process import ProcessBackend
@@ -134,17 +138,32 @@ def parse_hosts(spec: str | Iterable[tuple[str, int]]) -> tuple[tuple[str, int],
 # Daemon (the `repro serve` verb)
 # ----------------------------------------------------------------------
 class Daemon:
-    """Asyncio TCP server fronting a local process pool."""
+    """Asyncio TCP server fronting a local process pool.
+
+    Shutdown is **graceful on request** (:meth:`request_drain`, wired to
+    ``SIGTERM`` by :meth:`serve`): the listener stops accepting, every open
+    connection stops reading new frames, in-flight jobs finish and their
+    reply frames flush, then :meth:`serve` returns.  A client mid-batch sees
+    a clean EOF after its outstanding replies - a requeue-free handoff -
+    instead of torn frames and stranded jobs.
+    """
 
     def __init__(
         self,
         workers: int = 1,
         store: ResultStore | None = None,
         start_method: str = "spawn",
+        job_timeout: float | None = None,
     ) -> None:
+        if job_timeout is not None and job_timeout <= 0:
+            raise ConfigError(f"job_timeout must be > 0, got {job_timeout}")
         self.workers = max(1, workers)
         self.store = store
         self.backend = ProcessBackend(workers=self.workers, start_method=start_method)
+        #: Per-job wall-clock budget: a pool worker that wedges past this is
+        #: killed with its pool (a fresh one spawns on demand) and the client
+        #: gets an ``error`` frame instead of an eternally silent daemon.
+        self.job_timeout = job_timeout
         #: Results served over the daemon's lifetime (for the shutdown line).
         self.served = 0
         #: Live-introspection counters behind the ``stats`` wire frame.
@@ -153,6 +172,21 @@ class Daemon:
         self.connections = 0
         self.total_connections = 0
         self._started = time.monotonic()
+        #: Graceful-shutdown plumbing (created on the serve loop).
+        self.drained = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask the daemon to drain and exit; safe from any thread/signal.
+
+        Idempotent; a no-op before :meth:`serve` has bound its loop.
+        """
+        loop, event = self._loop, self._drain_event
+        if loop is not None and event is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(event.set)
 
     def stats_frame(self) -> dict:
         """The ``stats`` reply body (the ``repro serve-stats`` payload).
@@ -201,11 +235,36 @@ class Daemon:
         self, frame: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         rid = frame.get("id")
+        if FAULTS.active:
+            rule = FAULTS.trigger("daemon.stall")
+            if rule is not None:
+                # Wedged daemon: the job never starts and no reply ever
+                # flushes.  The client's frame_timeout must treat this
+                # exactly like a dead connection.
+                await asyncio.sleep(float(rule.arg("stall_s", 3600.0)))
         self.active_jobs += 1
         try:
-            key, stats = await self._submit(frame["job"])
+            if self.job_timeout is not None:
+                key, stats = await asyncio.wait_for(
+                    self._submit(frame["job"]), timeout=self.job_timeout
+                )
+            else:
+                key, stats = await self._submit(frame["job"])
         except asyncio.CancelledError:
             raise
+        except asyncio.TimeoutError as exc:
+            # Hung pool worker: kill the pool (other in-flight submits hit
+            # their own wait_for budgets; a fresh pool spawns on demand) and
+            # tell the client loudly rather than going silent.
+            self.errors += 1
+            self.backend.close()
+            log.warning("job %r exceeded job_timeout=%.1fs; pool recycled",
+                        rid, self.job_timeout)
+            reply = {
+                "type": "error", "id": rid,
+                "message": f"TimeoutError: job exceeded daemon "
+                           f"job_timeout={self.job_timeout}s ({exc or 'hung worker'})",
+            }
         except Exception as exc:  # job failure is a frame, not a dead daemon
             self.errors += 1
             reply = {"type": "error", "id": rid, "message": f"{type(exc).__name__}: {exc}"}
@@ -216,6 +275,11 @@ class Daemon:
             self.served += 1
         finally:
             self.active_jobs -= 1
+        if FAULTS.active and FAULTS.trigger("daemon.frame_drop") is not None:
+            # The job ran (and cached, if caching) but the reply evaporates:
+            # the client must recover via frame_timeout + requeue, and the
+            # re-run is dedup'd bit-identically by content key.
+            return
         try:
             async with write_lock:
                 writer.write(encode_frame(reply))
@@ -223,9 +287,34 @@ class Daemon:
         except (ConnectionError, OSError):
             pass  # client vanished mid-reply; it requeues the job on its side
 
+    async def _next_frame(self, reader: asyncio.StreamReader) -> dict | str | None:
+        """``read_frame`` racing the drain event; ``"drain"`` when it wins."""
+        if self._drain_event is None:  # serve() not driving (direct tests)
+            return await read_frame(reader)
+        read = asyncio.ensure_future(read_frame(reader))
+        drain = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            await asyncio.wait({read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            drain.cancel()
+            if not read.done():
+                read.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await read
+        if not read.done() or read.cancelled():
+            return "drain"
+        return read.result()  # re-raises read_frame's failures
+
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            # serve() gathers these on drain so in-flight replies flush
+            # before the process exits.
+            self._conn_tasks.add(conn_task)
+            conn_task.add_done_callback(self._conn_tasks.discard)
         write_lock = asyncio.Lock()
         inflight: set[asyncio.Task] = set()
+        draining = False
         try:
             hello = await read_frame(reader)
             if hello is None:
@@ -254,9 +343,23 @@ class Daemon:
             self.total_connections += 1
             try:
                 while True:
-                    frame = await read_frame(reader)
+                    frame = await self._next_frame(reader)
+                    if frame == "drain":
+                        # Graceful shutdown: stop reading, let in-flight
+                        # replies flush (the finally gathers them), then EOF.
+                        draining = True
+                        return
                     if frame is None:
                         return  # client hung up; in-flight replies have nowhere to go
+                    if FAULTS.active:
+                        rule = FAULTS.trigger("daemon.conn_reset")
+                        if rule is not None:
+                            raise ConnectionResetError(
+                                "fault injected: daemon.conn_reset"
+                            )
+                        rule = FAULTS.trigger("daemon.kill")
+                        if rule is not None:
+                            os._exit(int(rule.arg("exit_code", 9)))
                     if frame["type"] == "stats":
                         # Live introspection: answered inline (never queued
                         # behind the pool), so a saturated daemon still
@@ -275,6 +378,8 @@ class Daemon:
         except (ConnectionError, RunnerError, asyncio.IncompleteReadError):
             return  # one bad client must not take the daemon down
         finally:
+            if draining and inflight:
+                await asyncio.gather(*list(inflight), return_exceptions=True)
             for task in inflight:
                 task.cancel()
             writer.close()
@@ -283,13 +388,58 @@ class Daemon:
 
     # ------------------------------------------------------------------
     async def serve(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, ready=None):
-        """Listen forever; ``ready(host, bound_port)`` fires once bound."""
+        """Listen until drained; ``ready(host, bound_port)`` fires once bound.
+
+        Runs forever unless :meth:`request_drain` fires (``SIGTERM`` is wired
+        to it when the loop runs on the main thread), then: stop accepting,
+        flush every in-flight reply, return.  ``server.wait_closed`` is
+        deliberately avoided - on Python 3.12+ it waits for all open
+        connections, which is exactly the drain we orchestrate by hand.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._drain_event = asyncio.Event()
         server = await asyncio.start_server(self._handle, host, port, limit=STREAM_LIMIT)
         bound_port = server.sockets[0].getsockname()[1]
+        try:
+            # Signal handlers attach only on the main thread; in-process
+            # test daemons (serve on a helper thread) drain via
+            # request_drain() directly.
+            loop.add_signal_handler(signal.SIGTERM, self.request_drain)
+            sigterm_wired = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            sigterm_wired = False
         if ready is not None:
             ready(host, bound_port)
-        async with server:
-            await server.serve_forever()
+        serving = asyncio.ensure_future(server.serve_forever())
+        drain = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            await asyncio.wait({serving, drain}, return_when=asyncio.FIRST_COMPLETED)
+            if serving.done() and not drain.done():
+                await serving  # propagate the listener's failure
+                return
+            self.drained = True
+            server.close()  # stop accepting; open connections drain below
+            if self._conn_tasks:
+                await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+            log.info(
+                "drained: %d result(s) served, %d error(s), shutting down",
+                self.served, self.errors,
+            )
+            if TELEMETRY.enabled:
+                TELEMETRY.event(
+                    "daemon.drain", served=self.served, errors=self.errors,
+                )
+        finally:
+            drain.cancel()
+            serving.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serving
+            if sigterm_wired:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(signal.SIGTERM)
+            server.close()
+            self._loop = None
 
     def close(self) -> None:
         self.backend.close()
@@ -301,14 +451,18 @@ def serve_forever(
     workers: int = 1,
     store: ResultStore | None = None,
     announce=print,
+    job_timeout: float | None = None,
 ) -> int:
     """Blocking daemon entry point for the ``repro serve`` CLI verb.
 
     The readiness line ("listening on HOST:PORT") goes to stdout *after* the
     socket is bound, so callers (tests, CI, shell scripts) can start the
-    daemon with ``--port 0`` and parse the kernel-assigned port.
+    daemon with ``--port 0`` and parse the kernel-assigned port.  ``SIGTERM``
+    drains gracefully (in-flight jobs finish, replies flush, then exit);
+    ``SIGINT``/Ctrl-C remains the fast abort.
     """
-    daemon = Daemon(workers=workers, store=store)
+    FAULTS.role = "daemon"
+    daemon = Daemon(workers=workers, store=store, job_timeout=job_timeout)
 
     def ready(bound_host: str, bound_port: int) -> None:
         announce(
@@ -319,10 +473,19 @@ def serve_forever(
             flush=True,
         )
 
+    # Advertise the daemon as a live cache appender so `repro cache compact`
+    # on the same directory refuses while results may still stream in.
+    lock = store.writer_lock() if store is not None else contextlib.nullcontext()
     try:
-        asyncio.run(daemon.serve(host, port, ready))
+        with lock:
+            asyncio.run(daemon.serve(host, port, ready))
     except KeyboardInterrupt:
         announce(f"repro serve: stopped after {daemon.served} results", flush=True)
+    else:
+        announce(
+            f"repro serve: drained, stopped after {daemon.served} results",
+            flush=True,
+        )
     finally:
         daemon.close()
     return 0
@@ -415,8 +578,22 @@ class RemoteBackend:
     window: int = DEFAULT_WINDOW
     #: Reconnection attempts per host before it is declared dead...
     connect_retries: int = 5
-    #: ...with linear backoff: attempt *n* sleeps ``n * retry_delay`` seconds.
+    #: ...with capped exponential backoff: attempt *n* waits
+    #: ``min(retry_delay * 2**(n-1), retry_max_delay)`` seconds, scaled by a
+    #: deterministic jitter derived from the host name (see
+    #: :meth:`_backoff_delay`).
     retry_delay: float = 0.2
+    #: Backoff ceiling: a long daemon outage polls at this cadence instead
+    #: of growing per-attempt sleeps without bound.
+    retry_max_delay: float = 5.0
+    #: Per-reply wall-clock budget (seconds) while jobs are in flight.
+    #: ``None`` waits forever (the historical behavior).  When set, a host
+    #: that stalls mid-batch - wedged worker, livelocked daemon, black-holed
+    #: TCP session - is treated exactly like a dropped connection: its
+    #: outstanding jobs requeue onto other hosts and the stalled host gets
+    #: its bounded reconnect budget.  Size it well above the longest
+    #: legitimate job: a daemon replies only when a job *finishes*.
+    frame_timeout: float | None = None
 
     #: Job frames never carry trace bytes: daemons regenerate traces
     #: deterministically from the payload, so the parent skips compiling them.
@@ -433,6 +610,30 @@ class RemoteBackend:
         self.hosts = parse_hosts(self.hosts)
         if self.window < 1:
             raise ConfigError(f"window must be >= 1, got {self.window}")
+        if self.retry_delay <= 0:
+            raise ConfigError(f"retry_delay must be > 0, got {self.retry_delay}")
+        if self.retry_max_delay < self.retry_delay:
+            raise ConfigError(
+                f"retry_max_delay ({self.retry_max_delay}) must be >= "
+                f"retry_delay ({self.retry_delay})"
+            )
+        if self.frame_timeout is not None and self.frame_timeout <= 0:
+            raise ConfigError(f"frame_timeout must be > 0, got {self.frame_timeout}")
+
+    def _backoff_delay(self, host_name: str, attempt: int) -> float:
+        """Reconnect sleep before attempt ``attempt`` (1-based) to one host.
+
+        Exponential in the attempt number, capped at ``retry_max_delay`` so
+        a long outage cannot grow per-attempt sleeps without bound, and
+        scaled into ``[0.5, 1.0) x base`` by a jitter that is a pure
+        function of ``(host name, attempt)`` - different hosts desynchronize
+        their reconnect storms, yet every run of the same configuration
+        sleeps identically (the determinism the chaos tier and the
+        fake-clock test pin).
+        """
+        base = min(self.retry_delay * (2.0 ** (attempt - 1)), self.retry_max_delay)
+        jitter = zlib.crc32(f"{host_name}#{attempt}".encode("utf-8")) % 1000 / 1000.0
+        return base * (0.5 + 0.5 * jitter)
 
     def _host_entry(self, name: str) -> dict:
         entry = self.host_stats.get(name)
@@ -604,7 +805,7 @@ class RemoteBackend:
                         state.dead_hosts += 1
                         state.cond.notify_all()
                     return
-                await asyncio.sleep(self.retry_delay * attempts)
+                await asyncio.sleep(self._backoff_delay(name, attempts))
                 continue
             outstanding: dict[int, dict] = {}
             served = [0]  # results this connection delivered (progress marker)
@@ -659,7 +860,7 @@ class RemoteBackend:
                         state.dead_hosts += 1
                         state.cond.notify_all()
                     return
-                await asyncio.sleep(self.retry_delay * attempts)
+                await asyncio.sleep(self._backoff_delay(name, attempts))
             finally:
                 writer.close()
                 with contextlib.suppress(Exception):
@@ -709,7 +910,16 @@ class RemoteBackend:
             for jid, payload in to_send:
                 writer.write(encode_frame({"type": "run", "id": jid, "job": payload}))
             await writer.drain()
-            frame = await read_frame(reader)
+            if self.frame_timeout is not None:
+                # A stalled host is handled exactly like a dropped one: the
+                # TimeoutError lands in _host_loop's transport-death tuple,
+                # so outstanding jobs requeue and this host gets its bounded
+                # reconnect budget.
+                frame = await asyncio.wait_for(
+                    read_frame(reader), timeout=self.frame_timeout
+                )
+            else:
+                frame = await read_frame(reader)
             if frame is None:
                 raise ConnectionError("daemon disconnected with jobs in flight")
             ftype = frame.get("type")

@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--window", type=int, default=DEFAULT_WINDOW,
                        help="max in-flight jobs per remote host "
                        f"(default: {DEFAULT_WINDOW})")
+    sweep.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                       help="process backend: per-job progress budget in "
+                       "seconds; a pool that stalls past it is terminated "
+                       "and its jobs re-dispatched (after repeated strikes, "
+                       "finished serially). Default: no watchdog")
+    sweep.add_argument("--frame-timeout", type=float, default=None, metavar="S",
+                       help="remote backend: per-reply budget in seconds; a "
+                       "host that stalls past it is treated as disconnected "
+                       "(jobs requeue to other hosts). Default: wait forever")
     sweep.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
     sweep.add_argument("--cores", type=int, default=64)
     sweep.add_argument("--seed", type=int, default=0,
@@ -189,6 +198,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also persist served results in a server-side "
                        "result cache (mergeable into a client's via "
                        "'repro cache merge')")
+    serve.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                       help="per-job budget in seconds: a pool worker that "
+                       "wedges past it is killed (the client gets an error "
+                       "frame instead of silence). Default: no watchdog")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="differential fault-injection sweep: run a small grid under a "
+        "single-fault schedule matrix and compare every surviving result "
+        "bit-for-bit against a fault-free serial reference",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault schedule seed (default 0)")
+    chaos.add_argument("--faults", nargs="+", metavar="NAME", default=None,
+                       help="restrict the matrix to these faults "
+                       "(default: the full single-fault matrix)")
+    chaos.add_argument("--backends", nargs="+", metavar="NAME", default=None,
+                       choices=("local", "process", "remote"),
+                       help="restrict the matrix to these backends")
+    chaos.add_argument("--job-timeout", type=float, default=1.5, metavar="S",
+                       help="process-pool watchdog budget per cell "
+                       "(default 1.5s; chaos jobs run in ~25ms)")
+    chaos.add_argument("--frame-timeout", type=float, default=1.5, metavar="S",
+                       help="remote stalled-host budget per cell (default 1.5s)")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="write the cell report as JSON to PATH "
+                       "('-' = stdout) instead of a table")
 
     bench = sub.add_parser(
         "bench",
@@ -341,7 +377,8 @@ def _run_sweep(args) -> int:
             log.info(format_progress(done, total, job, source))
 
     backend = make_backend(
-        args.backend, workers=args.workers, hosts=args.hosts, window=args.window
+        args.backend, workers=args.workers, hosts=args.hosts, window=args.window,
+        job_timeout=args.job_timeout, frame_timeout=args.frame_timeout,
     )
     jobs = grid.jobs()
     log.info(
@@ -494,8 +531,36 @@ def _cmd_serve(args) -> int:
 
     store = ResultStore(args.cache) if args.cache else None
     return serve_forever(
-        args.host, args.port, workers=args.workers, store=store
+        args.host, args.port, workers=args.workers, store=store,
+        job_timeout=args.job_timeout,
     )
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+
+    def progress(fault: str, backend: str) -> None:
+        log.info("chaos: %s x %s ...", fault, backend)
+
+    report = run_chaos(
+        seed=args.seed,
+        faults=args.faults,
+        backends=args.backends,
+        job_timeout=args.job_timeout,
+        frame_timeout=args.frame_timeout,
+        progress=progress,
+    )
+    if args.json is not None:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            log.info("wrote %s: %d cells", args.json, len(report.cells))
+    else:
+        print(report.table())
+    return 0 if report.ok else 1
 
 
 def _cmd_trend(args) -> int:
@@ -579,6 +644,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "accel-info": _cmd_accel_info,
     "trend": _cmd_trend,

@@ -22,6 +22,7 @@ mid-batch.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -107,7 +108,16 @@ class ParallelRunner:
             TELEMETRY.count("runner.cache.misses", len(pending))
 
         if pending:
-            self._run_pending(pending, results, done, total)
+            # Advertise this process as a live appender while the batch
+            # streams results into the store, so `repro cache compact`
+            # refuses to rewrite the log out from under it.
+            lock = (
+                self.store.writer_lock()
+                if self.store is not None
+                else contextlib.nullcontext()
+            )
+            with lock:
+                self._run_pending(pending, results, done, total)
 
         missing = [unique[k].describe() for k in unique if k not in results]
         if missing:

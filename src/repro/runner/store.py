@@ -29,10 +29,14 @@ single writer: run it while no sweep or daemon is appending.
 
 from __future__ import annotations
 
+import contextlib
+import errno
 import json
 import os
 from pathlib import Path
 
+from repro.common.errors import RunnerError
+from repro.faults import FAULTS
 from repro.runner.job import JOB_SCHEMA, Job
 from repro.sim.stats import RunStats
 
@@ -50,14 +54,31 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Lines the last :meth:`_load` pass ignored, broken out by cause.
+        #: Torn/corrupt lines are expected debris of interrupted writers;
+        #: foreign-schema lines are entries from another repo revision.
+        #: Both used to vanish silently - now they are counted and surfaced
+        #: through ``describe()`` / ``repro cache info``.
+        self.skipped_torn = 0
+        self.skipped_schema = 0
         self._entries: dict[str, dict] = {}
         self._load()
 
+    @property
+    def skipped_lines(self) -> int:
+        """Total lines ignored by the last load (torn + foreign-schema)."""
+        return self.skipped_torn + self.skipped_schema
+
     # ------------------------------------------------------------------
     def _load(self) -> None:
+        self.skipped_torn = 0
+        self.skipped_schema = 0
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as fh:
+        # errors="replace": a scribbled-over line (crashed writer, bad
+        # sector) must count as one torn line below, not abort the whole
+        # load with a UnicodeDecodeError.
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -65,12 +86,19 @@ class ResultStore:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn write from an interrupted run
+                    self.skipped_torn += 1  # torn write from an interrupted run
+                    continue
+                if not isinstance(record, dict):
+                    self.skipped_torn += 1
+                    continue
                 if record.get("schema") != JOB_SCHEMA:
+                    self.skipped_schema += 1
                     continue
                 key = record.get("key")
                 if isinstance(key, str) and "stats" in record:
                     self._entries[key] = record
+                else:
+                    self.skipped_torn += 1
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -102,8 +130,26 @@ class ResultStore:
         local filesystems: concurrent appenders (a serving daemon and a
         sweeping client sharing one cache directory) interleave whole lines,
         never fragments, so no lock file is needed.
+
+        Failpoints (``repro chaos``): ``store.append.disk_full`` raises the
+        ``OSError(ENOSPC)`` a full disk would; ``store.append.corrupt``
+        scribbles over the head of the record (a full-length non-JSON
+        line); ``store.append.torn`` writes only a prefix and stops (a
+        writer dying mid-append).  The latter two leave this process's
+        in-memory entries intact - they model damage a *future* load must
+        survive, which ``_load`` now counts instead of silently eating.
         """
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        if FAULTS.active:
+            if FAULTS.trigger("store.append.disk_full") is not None:
+                raise OSError(
+                    errno.ENOSPC, f"fault injected: no space left writing {self.path}"
+                )
+            if FAULTS.trigger("store.append.corrupt") is not None:
+                scribble = min(16, len(data) - 1)
+                data = b"\xef" * scribble + data[scribble:]
+            if FAULTS.trigger("store.append.torn") is not None:
+                data = data[: max(1, len(data) // 2)]
         self.directory.mkdir(parents=True, exist_ok=True)
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
@@ -152,6 +198,51 @@ class ResultStore:
         return merged, skipped
 
     # ------------------------------------------------------------------
+    # Writer advisory locks
+    # ------------------------------------------------------------------
+    def _lock_path(self, pid: int) -> Path:
+        return self.directory / f"writer-{pid}.lock"
+
+    @contextlib.contextmanager
+    def writer_lock(self):
+        """Advertise this process as a live appender for the duration.
+
+        Appends themselves need no lock (single ``O_APPEND`` writes are
+        atomic); the lock file exists so whole-log *rewrites* can refuse to
+        run concurrently: :meth:`compact` checks for live writers before
+        replacing the log.  The file holds the pid, so a lock left behind
+        by a crashed writer is recognized as stale and swept away.
+        Reentrant per process (the file is simply rewritten).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._lock_path(os.getpid())
+        path.write_text(f"{os.getpid()}\n", encoding="utf-8")
+        try:
+            yield self
+        finally:
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def live_writers(self) -> list[int]:
+        """Pids of *other* processes holding a writer lock (stale ones swept)."""
+        pids = []
+        for path in sorted(self.directory.glob("writer-*.lock")):
+            try:
+                pid = int(path.read_text(encoding="utf-8").strip())
+            except (OSError, ValueError):
+                with contextlib.suppress(OSError):
+                    path.unlink()  # unreadable lock: treat as stale debris
+                continue
+            if pid == os.getpid():
+                continue
+            if _pid_alive(pid):
+                pids.append(pid)
+            else:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        return pids
+
+    # ------------------------------------------------------------------
     def jobs(self) -> list[dict]:
         """Serialized job descriptions of every cached result (for tooling)."""
         return [record["job"] for record in self._entries.values()]
@@ -173,6 +264,13 @@ class ResultStore:
         Returns ``(kept, dropped)``: live entries written and physical lines
         removed (0 when compaction only materialized in-memory entries).
         """
+        writers = self.live_writers()
+        if writers:
+            raise RunnerError(
+                f"cache compact refused: live writer pid(s) "
+                f"{', '.join(map(str, writers))} hold {self.directory} "
+                f"(a sweep or daemon is appending; retry when it finishes)"
+            )
         self._load()
         before = 0
         if self.path.exists():
@@ -195,7 +293,28 @@ class ResultStore:
         return removed
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.path}: {len(self._entries)} results, "
             f"{self.hits} hits / {self.misses} misses / {self.stores} stores this session"
         )
+        if self.skipped_lines:
+            text += (
+                f", {self.skipped_lines} skipped lines "
+                f"({self.skipped_torn} torn, {self.skipped_schema} foreign-schema)"
+            )
+        return text
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for writer-lock staleness checks."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours
+    except OSError:
+        return True  # unknowable: refuse to treat as stale
+    return True

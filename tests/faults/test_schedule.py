@@ -1,0 +1,171 @@
+"""FaultSchedule / FaultRule / FaultInjector: validation and determinism.
+
+The determinism contract (DESIGN.md section 13) is the load-bearing claim:
+a rule fires as a pure function of (schedule seed, failpoint name,
+per-process hit index, process role).  These tests pin it directly - two
+injectors given the same schedule must agree hit-for-hit - plus the
+validation surface (unknown failpoints, malformed env schedules) and the
+env round-trip spawn children rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import (
+    FAILPOINTS,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    activate_from_env,
+)
+
+
+class TestRuleValidation:
+    def test_unknown_failpoint_rejected(self):
+        with pytest.raises(ConfigError, match="unknown failpoint"):
+            FaultRule("store.append.typo")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ConfigError, match="scope"):
+            FaultRule("worker.crash", scope="leader")
+
+    def test_hit_is_one_based(self):
+        with pytest.raises(ConfigError, match="1-based"):
+            FaultRule("worker.crash", hit=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultRule("worker.crash", p=1.5)
+
+    def test_every_registered_failpoint_is_constructible(self):
+        for point in FAILPOINTS:
+            assert FaultRule(point).point == point
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown fault rule keys"):
+            FaultRule.from_dict({"point": "worker.crash", "when": "always"})
+
+
+class TestScheduleSerialization:
+    def test_env_round_trip(self):
+        schedule = FaultSchedule(
+            seed=7,
+            rules=(
+                FaultRule("worker.crash", scope="worker", hit=2, times=3,
+                          args={"exit_code": 7}),
+                FaultRule("daemon.stall", p=0.25, args={"stall_s": 1.5}),
+            ),
+        )
+        restored = FaultSchedule.from_spec(schedule.to_env())
+        assert restored == schedule
+
+    def test_env_value_is_compact_json(self):
+        text = FaultSchedule(seed=1, rules=(FaultRule("worker.hang"),)).to_env()
+        assert "\n" not in text and " " not in text
+        assert json.loads(text)["seed"] == 1
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            FaultSchedule.from_spec("{nope")
+        with pytest.raises(ConfigError, match="JSON object"):
+            FaultSchedule.from_spec("[1,2]")
+        with pytest.raises(ConfigError, match="unknown fault schedule keys"):
+            FaultSchedule.from_spec({"seed": 0, "faults": []})
+
+    def test_activate_from_env_is_forgiving(self, caplog):
+        # Import-time inheritance must never break `import repro` over a
+        # typo'd env var - it warns and moves on.
+        injector = FaultInjector()
+        assert not activate_from_env(injector, environ={FAULTS_ENV: "{broken"})
+        assert not injector.active
+        assert activate_from_env(
+            injector,
+            environ={FAULTS_ENV: FaultSchedule(rules=(FaultRule("worker.hang"),)).to_env()},
+        )
+        assert injector.active
+
+
+class TestInjectorDeterminism:
+    def test_counting_rule_fires_on_exact_hits(self):
+        injector = FaultInjector()
+        injector.activate(FaultSchedule(rules=(
+            FaultRule("store.append.torn", hit=2, times=2),
+        )))
+        fired = [injector.trigger("store.append.torn") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_times_zero_fires_forever(self):
+        injector = FaultInjector()
+        injector.activate(FaultSchedule(rules=(
+            FaultRule("accel.build_fail", times=0),
+        )))
+        assert all(injector.trigger("accel.build_fail") for _ in range(10))
+
+    def test_two_injectors_agree_hit_for_hit(self):
+        # The determinism contract: same schedule => same decisions, even
+        # for probabilistic rules (the draw is a pure function of
+        # seed/point/hit-index, never of global PRNG state).
+        schedule = FaultSchedule(seed=42, rules=(
+            FaultRule("daemon.frame_drop", p=0.5, times=0),
+        ))
+        a, b = FaultInjector(), FaultInjector()
+        a.activate(schedule)
+        b.activate(schedule)
+        decisions_a = [a.trigger("daemon.frame_drop") is not None for _ in range(50)]
+        decisions_b = [b.trigger("daemon.frame_drop") is not None for _ in range(50)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_differ(self):
+        def decisions(seed):
+            inj = FaultInjector()
+            inj.activate(FaultSchedule(seed=seed, rules=(
+                FaultRule("daemon.frame_drop", p=0.5, times=0),
+            )))
+            return [inj.trigger("daemon.frame_drop") is not None for _ in range(50)]
+
+        assert decisions(1) != decisions(2)
+
+    def test_scope_filters_by_role(self):
+        schedule = FaultSchedule(rules=(FaultRule("worker.crash", scope="worker"),))
+        parent = FaultInjector()
+        parent.activate(schedule)  # role stays "parent"
+        assert parent.trigger("worker.crash") is None
+        worker = FaultInjector()
+        worker.activate(schedule, role="worker")
+        assert worker.trigger("worker.crash") is not None
+        # The miss still counted the hit: scope gates firing, not counting.
+        assert parent.hits("worker.crash") == 1
+
+    def test_activate_resets_counters(self):
+        injector = FaultInjector()
+        schedule = FaultSchedule(rules=(FaultRule("worker.hang", hit=1),))
+        injector.activate(schedule)
+        assert injector.trigger("worker.hang") is not None
+        assert injector.trigger("worker.hang") is None  # times=1 spent
+        injector.activate(schedule)
+        assert injector.trigger("worker.hang") is not None  # fresh counters
+
+    def test_disabled_injector_is_inert(self):
+        injector = FaultInjector()
+        assert not injector.active
+        assert injector.trigger("worker.crash") is None
+        assert injector.hits("worker.crash") == 0
+        injector.activate(FaultSchedule(rules=(FaultRule("worker.hang"),)))
+        injector.deactivate()
+        assert injector.trigger("worker.hang") is None
+
+    def test_rule_args_reach_the_site(self):
+        injector = FaultInjector()
+        injector.activate(FaultSchedule(rules=(
+            FaultRule("daemon.stall", args={"stall_s": 2.5}),
+        )))
+        rule = injector.trigger("daemon.stall")
+        assert rule is not None
+        assert rule.arg("stall_s", 60.0) == 2.5
+        assert rule.arg("missing", "default") == "default"

@@ -20,6 +20,7 @@ import asyncio
 import json
 import os
 import re
+import signal
 import socket
 import subprocess
 import sys
@@ -465,3 +466,131 @@ class TestStatsFrame:
             free_port = probe.getsockname()[1]
         with pytest.raises(OSError):
             fetch_stats("127.0.0.1", free_port, timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+class TestReconnectBackoff:
+    """Capped exponential backoff with deterministic per-host jitter."""
+
+    def _backend(self, **kw) -> RemoteBackend:
+        defaults = dict(hosts=(("h", 1),), retry_delay=0.2, retry_max_delay=5.0)
+        defaults.update(kw)
+        return RemoteBackend(**defaults)
+
+    def test_delays_are_deterministic_and_capped(self):
+        backend = self._backend()
+        delays = [backend._backoff_delay("h:1", n) for n in range(1, 12)]
+        assert delays == [backend._backoff_delay("h:1", n) for n in range(1, 12)]
+        for attempt, delay in enumerate(delays, start=1):
+            base = min(0.2 * 2 ** (attempt - 1), 5.0)
+            assert 0.5 * base <= delay < base  # jitter lands in [0.5, 1.0) x base
+        # The old linear `attempts * retry_delay` grew without bound; the
+        # cap pins a long outage to a steady polling cadence instead.
+        assert self._backend()._backoff_delay("h:1", 1000) < 5.0
+
+    def test_hosts_desynchronize(self):
+        backend = self._backend()
+        a = [backend._backoff_delay("hostA:1", n) for n in range(4, 8)]
+        b = [backend._backoff_delay("hostB:1", n) for n in range(4, 8)]
+        assert a != b
+
+    def test_timeout_and_backoff_validation(self):
+        with pytest.raises(ConfigError, match="retry_delay"):
+            self._backend(retry_delay=0)
+        with pytest.raises(ConfigError, match="retry_max_delay"):
+            self._backend(retry_delay=1.0, retry_max_delay=0.5)
+        with pytest.raises(ConfigError, match="frame_timeout"):
+            self._backend(frame_timeout=0)
+
+    def test_fake_clock_pins_the_reconnect_schedule(self, monkeypatch):
+        """The sleeps a dead host actually costs are exactly the documented
+        schedule - recorded via a patched (fake-clock) asyncio.sleep."""
+        with socket.create_server(("127.0.0.1", 0)) as probe:
+            free_port = probe.getsockname()[1]
+        backend = RemoteBackend(
+            hosts=(("127.0.0.1", free_port),),
+            connect_retries=3, retry_delay=0.2, retry_max_delay=1.0,
+        )
+        recorded: list[float] = []
+        real_sleep = asyncio.sleep
+
+        async def fake_sleep(delay, *args, **kwargs):
+            recorded.append(delay)
+            return await real_sleep(0)
+
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        with pytest.raises(RunnerError, match="hosts failed"):
+            list(backend.run_batch(_tasks(_jobs()[:1])))
+        name = f"127.0.0.1:{free_port}"
+        assert recorded == [backend._backoff_delay(name, n) for n in (1, 2, 3)]
+
+
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    """SIGTERM drains the daemon: no torn frames, a clean EOF, a shutdown line."""
+
+    def test_sigterm_after_serving_announces_drained(self, reference):
+        proc, host, port = _start_daemon(workers=1)
+        try:
+            backend = RemoteBackend(hosts=((host, port),), window=2)
+            got = _canon(dict(backend.run_batch(_tasks(_jobs()[:2]))))
+            for key, canon in got.items():
+                assert canon == reference[key]
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=15)
+            assert proc.returncode == 0
+            assert "drained, stopped after 2 results" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigterm_with_open_connection_is_a_clean_eof(self):
+        proc, host, port = _start_daemon(workers=1)
+        try:
+            with socket.create_connection((host, port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(encode_frame({
+                    "type": "hello", "wire": WIRE_SCHEMA, "job_schema": JOB_SCHEMA,
+                }))
+                fh.flush()
+                assert json.loads(fh.readline())["type"] == "hello"
+                proc.send_signal(signal.SIGTERM)
+                # The drain stops reading and closes cleanly: EOF, not a
+                # mid-frame reset the client would classify as a crash.
+                assert fh.readline() == b""
+            out, _ = proc.communicate(timeout=15)
+            assert proc.returncode == 0
+            assert "drained" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_request_drain_is_thread_safe_and_returns_serve(self):
+        from repro.runner.backends import Daemon
+
+        daemon = Daemon(workers=1)
+        ready = threading.Event()
+        finished = threading.Event()
+
+        def serve() -> None:
+            asyncio.run(daemon.serve("127.0.0.1", 0, lambda h, p: ready.set()))
+            finished.set()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=5)
+        daemon.request_drain()  # from a foreign thread, no signal involved
+        assert finished.wait(timeout=5), "serve() did not return on drain"
+        assert daemon.drained
+        thread.join(timeout=5)
+        daemon.close()
+
+    def test_request_drain_before_serve_is_a_noop(self):
+        from repro.runner.backends import Daemon
+
+        daemon = Daemon(workers=1)
+        daemon.request_drain()  # nothing bound yet: must not raise
+        assert not daemon.drained
+        daemon.close()

@@ -1,0 +1,139 @@
+"""ProcessBackend hung-worker watchdog: strike, re-dispatch, serial fallback.
+
+``multiprocessing.Pool`` silently loses the task of a worker that
+``os._exit``\\ s and waits forever on one that wedges; the watchdog path
+(``job_timeout``) is the defense.  These tests inject real worker crashes
+and hangs through the :data:`~repro.faults.core.FAULTS_ENV` schedule (spawn
+workers inherit it; the rules are scoped ``worker`` so the parent - and its
+serial-fallback path - stay clean) and pin the recovery invariant: the
+batch completes with stats bit-identical to the serial reference, the cost
+of a fault is wall-clock only.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import baseline_protocol
+from repro.experiments.harness import adaptive_protocol, bench_arch
+from repro.faults import FAULTS_ENV, FaultRule, FaultSchedule
+from repro.runner.backends import LocalBackend, ProcessBackend
+from repro.runner.backends.process import _worker_init
+from repro.runner.job import Job
+
+#: Generous relative to a ~25 ms tiny job, but short enough that the two
+#: strike cycles a full strikeout needs stay inside the test budget.
+JOB_TIMEOUT = 2.0
+
+
+def _jobs() -> list[Job]:
+    arch = bench_arch(16)
+    return [
+        Job(workload=name, proto=proto, arch=arch, scale="tiny")
+        for name in ("tsp", "matmul")
+        for proto in (baseline_protocol(), adaptive_protocol(4))
+    ]
+
+
+def _tasks(jobs):
+    return [(job.to_dict(), None) for job in jobs]
+
+
+def _canon(results: dict[str, dict]) -> dict[str, str]:
+    return {key: json.dumps(stats, sort_keys=True) for key, stats in results.items()}
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict[str, str]:
+    return _canon(dict(LocalBackend().run_batch(_tasks(_jobs()))))
+
+
+def _schedule(point: str, **args) -> str:
+    return FaultSchedule(
+        seed=0, rules=(FaultRule(point, scope="worker", hit=1, args=args),)
+    ).to_env()
+
+
+class TestWatchdogRecovery:
+    def test_hung_worker_is_terminated_and_batch_matches_serial(
+        self, reference, monkeypatch
+    ):
+        """The satellite contract: a worker sleeping past --job-timeout is
+        killed, its job re-runs, and the sweep output is bit-identical."""
+        monkeypatch.setenv(FAULTS_ENV, _schedule("worker.hang", hang_s=60.0))
+        backend = ProcessBackend(workers=2, job_timeout=JOB_TIMEOUT, max_strikes=2)
+        try:
+            got = _canon(dict(backend.run_batch(_tasks(_jobs()))))
+        finally:
+            backend.close()
+        assert backend.strikes >= 1  # the watchdog really fired
+        assert got == reference
+
+    def test_crashed_worker_task_is_rescued(self, reference, monkeypatch):
+        """os._exit loses the task silently (the pool repopulates but the
+        handle never resolves); only the watchdog can get it re-run."""
+        monkeypatch.setenv(FAULTS_ENV, _schedule("worker.crash"))
+        backend = ProcessBackend(workers=2, job_timeout=JOB_TIMEOUT, max_strikes=2)
+        try:
+            got = _canon(dict(backend.run_batch(_tasks(_jobs()))))
+        finally:
+            backend.close()
+        assert got == reference
+
+    def test_strikeout_falls_back_to_serial_in_parent(self, reference, monkeypatch):
+        """After max_strikes terminations the backend stops trusting pools;
+        the remainder runs in the parent, where the worker-scoped fault
+        cannot fire, so the batch still completes bit-identically."""
+        monkeypatch.setenv(FAULTS_ENV, _schedule("worker.hang", hang_s=60.0))
+        backend = ProcessBackend(workers=2, job_timeout=JOB_TIMEOUT, max_strikes=1)
+        try:
+            got = _canon(dict(backend.run_batch(_tasks(_jobs()))))
+        finally:
+            backend.close()
+        assert backend.strikes == 1
+        assert backend.source == "serial"
+        assert got == reference
+
+    def test_clean_batch_takes_watchdog_path_without_strikes(self, reference):
+        backend = ProcessBackend(workers=2, job_timeout=30.0)
+        try:
+            got = _canon(dict(backend.run_batch(_tasks(_jobs()))))
+        finally:
+            backend.close()
+        assert backend.strikes == 0
+        assert backend.source == "parallel"
+        assert got == reference
+
+    def test_single_task_with_timeout_is_watched_not_inline(self, monkeypatch):
+        """With a watchdog armed, even one task must not hang the parent."""
+        monkeypatch.setenv(FAULTS_ENV, _schedule("worker.hang", hang_s=60.0))
+        backend = ProcessBackend(workers=1, job_timeout=JOB_TIMEOUT, max_strikes=1)
+        try:
+            job = _jobs()[0]
+            got = dict(backend.run_batch([(job.to_dict(), None)]))
+        finally:
+            backend.close()
+        assert job.key in got
+
+
+class TestWatchdogConfig:
+    def test_job_timeout_must_be_positive(self):
+        with pytest.raises(ConfigError, match="job_timeout"):
+            ProcessBackend(workers=1, job_timeout=0)
+
+    def test_max_strikes_must_be_at_least_one(self):
+        with pytest.raises(ConfigError, match="max_strikes"):
+            ProcessBackend(workers=1, max_strikes=0)
+
+    def test_worker_init_marks_role(self):
+        from repro.faults import FAULTS
+
+        prior = FAULTS.role
+        try:
+            _worker_init()
+            assert FAULTS.role == "worker"
+        finally:
+            FAULTS.role = prior
