@@ -654,6 +654,9 @@ static PyTypeObject KernelType = {
     .tp_new = Kernel_new,
 };
 
+/* Defined in _sched.c (same shared object). */
+extern int repro_sched_register(PyObject *mod);
+
 static struct PyModuleDef kernel_module = {
     PyModuleDef_HEAD_INIT,
     .m_name = "_repro_mesh_kernel",
@@ -677,6 +680,12 @@ PyInit__repro_mesh_kernel(void)
         || PyModule_AddIntConstant(mod, "WINDOW_EPOCHS", K_WINDOW_EPOCHS) < 0
         || PyModule_AddIntConstant(mod, "SLOT_SHIFT", K_SLOT_SHIFT) < 0
         || PyModule_AddIntConstant(mod, "ABI_VERSION", K_ABI_VERSION) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    /* Scheduler kernel (accelerator phase 2), compiled from the sibling
+     * _sched.c into this same module. */
+    if (repro_sched_register(mod) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

@@ -1,15 +1,18 @@
-"""Compile-at-import machinery for the mesh kernel.
+"""Compile-at-import machinery for the accelerator kernels.
 
-``_kernel.c`` is compiled into a CPython extension module the first time a
-process asks for it, then dlopen'd from a per-version cache directory on
-every later import (compile once, load forever - the juno ``cffi.py``
-pattern).  The cache key is everything that can invalidate an artifact:
+The package's C sources (``_kernel.c`` mesh kernel + ``_sched.c`` scheduler
+kernel, plus any headers) are compiled into one CPython extension module
+the first time a process asks for it, then dlopen'd from a per-version
+cache directory on every later import (compile once, load forever - the
+juno ``cffi.py`` pattern).  The cache key is everything that can
+invalidate an artifact:
 
 * the interpreter's ABI tag (``EXT_SUFFIX`` already embeds it, and the
   cache directory is additionally namespaced by ``sys.implementation
   .cache_tag``), so 3.11 and 3.12 never share a shared object;
-* the C source **mtime and content hash**, so editing the kernel rebuilds
-  it on the next import;
+* **every** ``.c``/``.h`` input's **mtime and content hash**, so editing
+  any kernel source - not just the first one - rebuilds on the next
+  import;
 * the **compiler id** (resolved binary + its ``--version`` banner), so a
   toolchain swap rebuilds rather than trusting a stale artifact.
 
@@ -35,6 +38,17 @@ from pathlib import Path
 
 SOURCE = Path(__file__).with_name("_kernel.c")
 MODULE_NAME = "_repro_mesh_kernel"
+
+
+def kernel_sources() -> tuple[Path, ...]:
+    """Every C translation unit and header that feeds the artifact.
+
+    ``_kernel.c`` (mesh) and ``_sched.c`` (scheduler) compile into the one
+    shared object; headers do not compile but must fingerprint - an edited
+    inline helper has to invalidate the cache exactly like a ``.c`` edit.
+    """
+    here = Path(__file__).parent
+    return tuple(sorted(here.glob("*.c")) + sorted(here.glob("*.h")))
 
 #: Force the pure-Python fallback (checked per MeshNetwork construction).
 NO_ACCEL_ENV = "REPRO_NO_ACCEL"
@@ -89,43 +103,73 @@ def _source_fingerprint(source: Path) -> tuple[float, str]:
     return source.stat().st_mtime, hashlib.sha256(data).hexdigest()
 
 
-def artifact_paths(source: Path = SOURCE) -> tuple[Path, Path]:
+def _resolve_sources(sources) -> tuple[Path, ...]:
+    """Normalize the ``build_artifact`` source argument.
+
+    ``None`` means every ``.c``/``.h`` in the package (the production
+    path); a single ``Path`` or a sequence supports the build-cache tests,
+    which compile copies from a tmp directory.
+    """
+    if sources is None:
+        return kernel_sources()
+    if isinstance(sources, (str, Path)):
+        return (Path(sources),)
+    return tuple(Path(s) for s in sources)
+
+
+def artifact_paths(sources=None) -> tuple[Path, Path]:
     """The shared object and its build-metadata sidecar in the cache."""
     suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
     directory = cache_dir()
     return directory / f"{MODULE_NAME}{suffix}", directory / f"{MODULE_NAME}.json"
 
 
+def _fingerprint_map(sources: tuple[Path, ...]) -> dict[str, dict]:
+    out = {}
+    for source in sources:
+        mtime, digest = _source_fingerprint(source)
+        out[source.name] = {"mtime": mtime, "sha256": digest}
+    return out
+
+
 def _needs_build(
-    artifact: Path, meta_path: Path, source: Path, cc_id: str
+    artifact: Path, meta_path: Path, sources: tuple[Path, ...], cc_id: str
 ) -> bool:
     if not artifact.exists() or not meta_path.exists():
         return True
-    mtime, digest = _source_fingerprint(source)
+    fingerprints = _fingerprint_map(sources)
     # mtime first: a touched source always rebuilds, even if the sidecar
-    # was hand-edited; the content hash catches mtime-preserving edits.
-    if artifact.stat().st_mtime < mtime:
+    # was hand-edited; the content hashes catch mtime-preserving edits.
+    artifact_mtime = artifact.stat().st_mtime
+    if any(artifact_mtime < fp["mtime"] for fp in fingerprints.values()):
         return True
     try:
         meta = json.loads(meta_path.read_text())
     except (OSError, ValueError):
         return True
+    recorded = meta.get("sources")
+    if not isinstance(recorded, dict):
+        return True  # pre-multi-source sidecar: rebuild once to upgrade it
     return (
-        meta.get("source_sha256") != digest
+        {name: fp["sha256"] for name, fp in fingerprints.items()}
+        != {name: fp.get("sha256") for name, fp in recorded.items()}
         or meta.get("compiler_id") != cc_id
         or meta.get("abi") != sysconfig.get_config_var("EXT_SUFFIX")
     )
 
 
-def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
+def build_artifact(sources=None) -> tuple[Path | None, dict]:
     """Ensure a current shared object exists; return ``(path, info)``.
 
-    ``path`` is ``None`` on any failure and ``info`` always carries a
-    ``reason`` string plus whatever provenance was established (compiler
-    id, cache path) - this is the payload ``repro accel-info`` renders.
+    ``sources`` is ``None`` for the package's own kernels, or an explicit
+    ``Path``/sequence (build-cache tests).  ``path`` is ``None`` on any
+    failure and ``info`` always carries a ``reason`` string plus whatever
+    provenance was established (compiler id, cache path) - this is the
+    payload ``repro accel-info`` renders.
     """
+    source_paths = _resolve_sources(sources)
     info: dict = {
-        "source": str(source),
+        "source": ", ".join(str(s) for s in source_paths),
         "cache_dir": str(cache_dir()),
         "compiler": None,
         "reason": None,
@@ -133,14 +177,15 @@ def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
     }
     from repro.faults import FAULTS
 
-    if FAULTS.active and FAULTS.trigger("accel.build_fail") is not None:
+    if FAULTS.active and FAULTS.trigger("accel.build_fail", kernel="build") is not None:
         # Chaos failpoint: a broken toolchain at first import.  Taking the
         # same degrade-to-None path as a real compiler failure proves the
         # pure-Python fallback keeps RunStats bit-identical.
         info["reason"] = "fault injected: accel.build_fail"
         return None, info
-    if not source.exists():
-        info["reason"] = f"kernel source missing: {source}"
+    missing = [s for s in source_paths if not s.exists()]
+    if not source_paths or missing:
+        info["reason"] = f"kernel source missing: {missing or source_paths}"
         return None, info
     cc = find_compiler()
     if cc is None:
@@ -153,11 +198,12 @@ def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
         info["reason"] = f"Python headers not found under {include!r}"
         return None, info
 
-    artifact, meta_path = artifact_paths(source)
+    artifact, meta_path = artifact_paths(source_paths)
     info["artifact"] = str(artifact)
-    if not _needs_build(artifact, meta_path, source, cc_id):
+    if not _needs_build(artifact, meta_path, source_paths, cc_id):
         return artifact, info
 
+    compile_units = [s for s in source_paths if s.suffix == ".c"]
     try:
         artifact.parent.mkdir(parents=True, exist_ok=True)
         tmp = artifact.with_suffix(artifact.suffix + f".tmp{os.getpid()}")
@@ -167,7 +213,7 @@ def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
             "-fPIC",
             "-shared",
             f"-I{include}",
-            str(source),
+            *(str(s) for s in compile_units),
             "-o",
             str(tmp),
         ]
@@ -181,12 +227,10 @@ def build_artifact(source: Path = SOURCE) -> tuple[Path | None, dict]:
             info["reason"] = f"compile failed (exit {proc.returncode}): {tail}"
             return None, info
         os.replace(tmp, artifact)  # atomic: concurrent builders agree
-        mtime, digest = _source_fingerprint(source)
         meta_path.write_text(
             json.dumps(
                 {
-                    "source_mtime": mtime,
-                    "source_sha256": digest,
+                    "sources": _fingerprint_map(source_paths),
                     "compiler_id": cc_id,
                     "abi": sysconfig.get_config_var("EXT_SUFFIX"),
                     "command": cmd,

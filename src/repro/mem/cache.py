@@ -39,7 +39,21 @@ class CacheLine:
 
 
 class SetAssocCache:
-    """Set-associative cache indexed by line number with LRU replacement."""
+    """Set-associative cache indexed by line number with LRU replacement.
+
+    ``_observer`` is the membership hook of the compiled scheduler kernel
+    (DESIGN.md section 14): while a ``SchedKernel`` mirrors this cache's
+    buckets in its native (core, line) map, every resident-set change must
+    reach it - ``obs(0, line, entry)`` after an insert (including the
+    internal victim eviction, reported first as ``obs(1, victim_line,
+    None)``), ``obs(1, line, None)`` for a pop that removed something, and
+    ``obs(2, -1, None)`` for a clear.  ``touch`` needs no hook: membership
+    is unchanged and the LRU counter is reconciled by the kernel's
+    counter-replay flush.  Default None; the attribute test costs one
+    class-level lookup on the miss path and nothing on hits.
+    """
+
+    _observer = None
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
@@ -90,11 +104,21 @@ class SetAssocCache:
         self._use_counter += 1
         entry.last_use = self._use_counter
         bucket[line] = entry
+        obs = self._observer
+        if obs is not None:
+            if evicted is not None:
+                obs(1, evicted[0], None)
+            obs(0, line, entry)
         return evicted
 
     def pop(self, line: int):
         """Remove and return the entry for ``line`` (None if absent)."""
-        return self._sets[line & self._set_mask].pop(line, None)
+        entry = self._sets[line & self._set_mask].pop(line, None)
+        if entry is not None:
+            obs = self._observer
+            if obs is not None:
+                obs(1, line, None)
+        return entry
 
     def min_last_access(self, line: int) -> float | None:
         """Minimum last-access timestamp over valid lines in ``line``'s set.
@@ -129,3 +153,6 @@ class SetAssocCache:
     def clear(self) -> None:
         for bucket in self._sets:
             bucket.clear()
+        obs = self._observer
+        if obs is not None:
+            obs(2, -1, None)

@@ -256,13 +256,31 @@ class ProtocolEngineBase:
         ``stores``     per-core ``SetAssocCache`` objects (LRU counter),
         ``l1s``        per-core ``L1Cache`` objects (hit counter),
         ``exclusive``  minimum state for a silent write hit,
-        ``modified``   the state to write on a write hit.
+        ``modified``   the state to write on a write hit,
+        ``line_type``  the entry class whose ``__slots__`` hold ``state``/
+                       ``last_use``/``last_access``/``utilization``.
 
         The contract is strict bit-identity: the inline path must perform
         exactly the bookkeeping ``access`` would (LRU, utilization,
         timestamp, hit/energy counters) and fall back to ``access`` for
         anything else.  Default: no fast path (miss-only families, or hit
         handling with side effects - version checks, golden verification).
+
+        C adoption and writeback (DESIGN.md sec. 14): the compiled
+        scheduler kernel mirrors the per-core stores in a native
+        (core, line) map and *defers* hit bookkeeping.  Two rules keep the
+        mirror coherent with engine-side mutations:
+
+        * every membership change to a listed store while the kernel is
+          attached must flow through ``SetAssocCache``'s ``_observer``
+          hooks (fills, evictions, purges, clears) - true for any engine
+          that mutates L1 residency via ``insert``/``pop``/``clear``;
+        * the kernel flushes all deferred state (LRU counter replay,
+          utilization, timestamps, E -> M upgrades) back into the entry
+          objects *before every* ``access`` call and exit, so engine-side
+          reads (victim choice, ``min_last_access``, purge state checks,
+          utilization histograms) always observe exactly the values the
+          pure-Python loop would have written.
         """
         return None
 

@@ -43,6 +43,7 @@ from repro.common import addr as addrmod
 from repro.common.errors import CoherenceError, SimulationError
 from repro.common.types import MESIState, MissType, RemovalReason, SharerMode
 from repro.coherence.directory import DirectoryEntry
+from repro.mem.cache import CacheLine
 from repro.mem.l2 import L2Line, L2Slice
 from repro.network.messages import MsgType
 from repro.protocol.base import (
@@ -150,6 +151,10 @@ class DirectoryEngine(ProtocolEngineBase):
             "set_mask": store._set_mask,
             "exclusive": _EXCLUSIVE,
             "modified": _MODIFIED,
+            # C-adoption field (DESIGN.md sec. 14): the compiled scheduler
+            # kernel resolves CacheLine's __slots__ member offsets from
+            # this type and reads/writes entries through them directly.
+            "line_type": CacheLine,
         }
 
     # ------------------------------------------------------------------

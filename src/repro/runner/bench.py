@@ -157,17 +157,33 @@ def run_bench(
     ]
     status = accel.status()
     report = {
-        "schema": 3,  # 2: rows carry the protocol family; 3: + implementation
+        # 2: rows carry the protocol family; 3: + mesh implementation;
+        # 4: + per-kernel implementations (mesh AND sched).
+        "schema": 4,
         "metric": "records/second, best of repeats, process_time",
-        # Provenance: which mesh implementation produced these numbers.
-        # ``repro trend`` refuses accel-vs-fallback comparisons on it
-        # (unless --allow-impl-mismatch), because such a diff measures the
-        # kernel, not the change under test.
+        # Provenance: which implementations produced these numbers.
+        # ``repro trend`` refuses comparisons where any shared kernel's
+        # implementation differs (unless --allow-impl-mismatch), because
+        # such a diff measures the kernel, not the change under test.
+        # "implementation" is the legacy schema-3 mesh-only stamp, kept so
+        # older tooling keeps reading these files.
         "implementation": status["implementation"],
+        "implementations": {
+            name: kstat["implementation"]
+            for name, kstat in status["kernels"].items()
+        },
         "accel": {
             "compiled": status["compiled"],
             "compiler": status["compiler"],
             "reason": status["reason"],
+            "kernels": {
+                name: {
+                    "implementation": kstat["implementation"],
+                    "compiled": kstat["compiled"],
+                    "reason": kstat["reason"],
+                }
+                for name, kstat in status["kernels"].items()
+            },
         },
         "points": rows,
     }
@@ -178,13 +194,36 @@ def run_bench(
     return report
 
 
+def implementations_map(report: dict) -> dict:
+    """Per-kernel implementation stamps of a bench report.
+
+    Schema-4 reports carry ``implementations`` (mesh AND sched); schema-3
+    reports stamp only the mesh implementation, normalized here to
+    ``{"mesh": ...}``.  Pre-provenance reports return ``{}``.
+    """
+    impls = report.get("implementations")
+    if isinstance(impls, dict):
+        return dict(impls)
+    impl = report.get("implementation")
+    return {"mesh": impl} if isinstance(impl, str) else {}
+
+
 def format_report(report: dict) -> str:
     lines = []
-    impl = report.get("implementation")
-    if impl is not None:
+    impls = implementations_map(report)
+    if impls:
         info = report.get("accel", {})
-        detail = info.get("compiler") if impl == "accel" else info.get("reason")
-        lines.append(f"mesh implementation: {impl}" + (f" ({detail})" if detail else ""))
+        kernels = info.get("kernels", {})
+        for name in sorted(impls):
+            impl = impls[name]
+            detail = (
+                info.get("compiler")
+                if impl == "accel"
+                else kernels.get(name, info).get("reason")
+            )
+            lines.append(
+                f"{name} implementation: {impl}" + (f" ({detail})" if detail else "")
+            )
     lines.append(
         f"{'workload':<14} {'family':<8} {'pct':>3} {'records':>9} "
         f"{'build rec/s':>12} {'simulate rec/s':>15}"
@@ -233,10 +272,18 @@ def format_baseline_diff(baseline: dict, fresh: dict) -> str:
     implementation mismatch between the two reports is called out - a
     compiled-vs-fallback diff measures the kernel, not the code change.
     """
-    base_impl = baseline.get("implementation", "unknown")
-    fresh_impl = fresh.get("implementation", "unknown")
-    lines = [f"baseline implementation: {base_impl}, fresh: {fresh_impl}"]
-    if base_impl != fresh_impl:
+    base_impls = implementations_map(baseline) or {"mesh": "unknown"}
+    fresh_impls = implementations_map(fresh) or {"mesh": "unknown"}
+
+    def _stamp(impls: dict) -> str:
+        return ",".join(f"{k}={impls[k]}" for k in sorted(impls))
+
+    lines = [
+        f"baseline implementation: {_stamp(base_impls)}, "
+        f"fresh: {_stamp(fresh_impls)}"
+    ]
+    shared = set(base_impls) & set(fresh_impls)
+    if any(base_impls[k] != fresh_impls[k] for k in shared):
         lines.append(
             "WARNING: implementations differ - the speedups below include "
             "the accel-vs-fallback gap, not just the code change"

@@ -253,15 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     accel_info = sub.add_parser(
         "accel-info",
-        help="show the compiled mesh-kernel status: implementation, build "
-        "cache, compiler, or why the pure-Python fallback is active "
-        "(set REPRO_NO_ACCEL=1 to force the fallback)",
+        help="show the compiled kernel status (mesh + sched): per-kernel "
+        "implementation, build cache, compiler, or why a pure-Python "
+        "fallback is active (REPRO_NO_ACCEL=1 forces both fallbacks, "
+        "REPRO_NO_ACCEL_MESH/_SCHED one each)",
     )
     accel_info.add_argument("--json", action="store_true",
                             help="emit the status as one JSON object")
-    accel_info.add_argument("--require-compiled", action="store_true",
-                            help="exit 1 unless the compiled kernel is active "
-                            "(CI guard against silently benching the fallback)")
+    accel_info.add_argument("--require-compiled", nargs="?", const="mesh,sched",
+                            metavar="KERNELS", default=None,
+                            help="exit 1 unless the named compiled kernels are "
+                            "active (comma-separated subset of mesh,sched; "
+                            "bare flag requires both - CI guard against "
+                            "silently benching a fallback)")
 
     events = sub.add_parser(
         "events",
@@ -505,24 +509,36 @@ def _cmd_accel_info(args) -> int:
     if args.json:
         print(json.dumps(status, indent=2, sort_keys=True))
     else:
-        print(f"implementation: {status['implementation']}")
-        print(f"compiled:       {'yes' if status['compiled'] else 'no'}")
-        if status["disabled_by_env"]:
-            print("disabled:       yes (REPRO_NO_ACCEL is set)")
+        for name in sorted(status["kernels"]):
+            kstat = status["kernels"][name]
+            line = f"{name}: {kstat['implementation']}"
+            if kstat["reason"]:
+                line += f" ({kstat['reason']})"
+            print(line)
         if status["compiler"]:
             print(f"compiler:       {status['compiler']}")
         print(f"cache dir:      {status['cache_dir']}")
         if status["artifact"]:
             print(f"artifact:       {status['artifact']}")
         print(f"source:         {status['source']}")
-        if status["reason"]:
-            print(f"reason:         {status['reason']}")
-    if args.require_compiled and status["implementation"] != "accel":
-        log.error(
-            "compiled mesh kernel required but not active: %s",
-            status["reason"] or "unknown reason",
-        )
-        return 1
+    if args.require_compiled:
+        required = [k.strip() for k in args.require_compiled.split(",") if k.strip()]
+        unknown = [k for k in required if k not in status["kernels"]]
+        if unknown:
+            log.error("unknown kernel(s) %s (known: %s)",
+                      ", ".join(unknown), ", ".join(sorted(status["kernels"])))
+            return 2
+        failed = False
+        for name in required:
+            kstat = status["kernels"][name]
+            if kstat["implementation"] != "accel":
+                log.error(
+                    "compiled %s kernel required but not active: %s",
+                    name, kstat["reason"] or "unknown reason",
+                )
+                failed = True
+        if failed:
+            return 1
     return 0
 
 

@@ -98,13 +98,15 @@ def _load_cache(path: Path) -> dict:
     return points
 
 
-def source_implementation(path: str | Path) -> str | None:
-    """The mesh implementation a bench report records, if any.
+def source_implementation(path: str | Path) -> dict | str | None:
+    """The kernel implementation(s) a bench report records, if any.
 
-    Schema-3 bench reports (PR 8+) stamp ``implementation``:
-    ``"accel"`` (compiled kernel) or ``"fallback"`` (pure Python).
-    Older reports and cache logs return ``None`` (no provenance - the
-    mismatch guard lets those through).
+    Schema-4 bench reports (PR 10+) stamp ``implementations`` - a
+    per-kernel dict like ``{"mesh": "accel", "sched": "fallback"}`` -
+    returned as-is.  Schema-3 reports (PR 8/9) stamp only the mesh
+    implementation and return that string.  Older reports and cache logs
+    return ``None`` (no provenance - the mismatch guard lets those
+    through).
     """
     p = Path(path)
     if p.is_dir() or p.suffix == ".jsonl" or p.name == "results.jsonl":
@@ -114,10 +116,22 @@ def source_implementation(path: str | Path) -> str | None:
     except (OSError, json.JSONDecodeError, UnicodeDecodeError):
         return None
     if isinstance(payload, dict):
+        impls = payload.get("implementations")
+        if isinstance(impls, dict):
+            return impls
         impl = payload.get("implementation")
         if isinstance(impl, str):
             return impl
     return None
+
+
+def _impl_map(provenance: dict | str | None) -> dict:
+    """Normalize provenance to a per-kernel dict ({} when absent)."""
+    if isinstance(provenance, dict):
+        return provenance
+    if isinstance(provenance, str):
+        return {"mesh": provenance}  # legacy schema-3 mesh-only stamp
+    return {}
 
 
 def load_source(path: str | Path) -> tuple[str, dict]:
@@ -223,13 +237,24 @@ def run_trend(
             f"cannot compare a {old_kind} source against a {new_kind} source"
         )
     if old_kind == "bench" and not allow_impl_mismatch:
-        old_impl = source_implementation(old_path)
-        new_impl = source_implementation(new_path)
-        if old_impl is not None and new_impl is not None and old_impl != new_impl:
+        old_impl = _impl_map(source_implementation(old_path))
+        new_impl = _impl_map(source_implementation(new_path))
+        # Only kernels stamped on BOTH sides are comparable: a schema-3
+        # report says nothing about the sched kernel, so it cannot clash
+        # with a schema-4 report's sched stamp.
+        mismatched = sorted(
+            name for name in old_impl.keys() & new_impl.keys()
+            if old_impl[name] != new_impl[name]
+        )
+        if mismatched:
+            detail = "; ".join(
+                f"{name}: {old_impl[name]!r} vs {new_impl[name]!r}"
+                for name in mismatched
+            )
             raise ReproError(
-                f"bench reports use different mesh implementations: "
-                f"{old_path} is {old_impl!r}, {new_path} is {new_impl!r}; "
-                "this comparison measures the accelerator, not the change "
+                f"bench reports use different kernel implementations "
+                f"({detail}) between {old_path} and {new_path}; this "
+                "comparison measures the accelerator, not the change "
                 "under test - pass --allow-impl-mismatch to compare anyway"
             )
     if old_kind == "bench" and metric is None and assert_within is not None:

@@ -30,14 +30,16 @@ from __future__ import annotations
 import gc
 import heapq
 from collections import deque
+from functools import partial
 
+from repro import accel
 from repro.common import addr as addrmod
 from repro.common.errors import SimulationError
 from repro.common.params import ArchConfig, EnergyConfig, ProtocolConfig
 from repro.common.types import Op
 from repro.energy.model import EnergyModel
 from repro.obs import TELEMETRY
-from repro.protocol.base import ProtocolEngineBase
+from repro.protocol.base import AccessResult, ProtocolEngineBase
 from repro.protocol.engine import make_engine
 from repro.sim.stats import LatencyBreakdown, RunStats
 from repro.workloads.base import Trace
@@ -104,10 +106,14 @@ class Simulator:
                 cores=arch.num_cores,
                 records=trace.total_records,
             )
-            # Which mesh implementation this run actually uses (compiled
-            # kernel vs pure-Python ring buffer) - the provenance the bench
-            # reports and the trend gate rely on (DESIGN.md sec. 12).
-            tel.event("accel.active", implementation=engine.network.implementation)
+            # Which implementation each kernel actually uses this run
+            # (compiled vs pure Python) - the provenance the bench reports
+            # and the trend gate rely on (DESIGN.md secs. 12 and 14).
+            tel.event(
+                "accel.active",
+                implementation=engine.network.implementation,
+                sched="accel" if accel.sched_kernel_class() is not None else "fallback",
+            )
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -193,7 +199,18 @@ class Simulator:
         min-clock schedule - ``(t, core)`` tuple order is the heap order -
         so the produced statistics are bit-identical to the interpreter
         this replaces.
+
+        With the compiled scheduler kernel available (accelerator phase 2,
+        DESIGN.md sec. 14) the walk below runs natively instead, exiting
+        to :meth:`_execute_kernel`'s trampoline only on synchronization
+        records; this pure-Python loop stays the ungated, bit-identical
+        reference (``REPRO_NO_ACCEL``/``REPRO_NO_ACCEL_SCHED`` force it).
         """
+        kernel_cls = accel.sched_kernel_class()
+        if kernel_cls is not None:
+            return self._execute_kernel(
+                kernel_cls, engine, trace, start_clocks, breakdowns
+            )
         arch = self.arch
         num_cores = arch.num_cores
         # Materialized list views of the columnar IR: indexing an
@@ -474,6 +491,153 @@ class Simulator:
         self._fast_read_hits = reads
         self._fast_write_hits = writes
         return clocks
+
+    # ------------------------------------------------------------------
+    def _execute_kernel(
+        self,
+        kernel_cls,
+        engine: ProtocolEngineBase,
+        trace: Trace,
+        start_clocks: list[float],
+        breakdowns: list[LatencyBreakdown],
+    ) -> list[float]:
+        """One execution pass on the compiled scheduler kernel.
+
+        The kernel owns cursors, heap, compute accumulators and the inline
+        L1-hit path over the raw ``array('q')`` columns; this trampoline
+        owns everything synchronization-shaped - barrier rendezvous, lock
+        FIFOs, ``sync_boundary_hook`` boundaries, deadlock detection - at
+        one FFI crossing per sync record.  Every arithmetic step below is
+        the corresponding ``_execute`` branch verbatim, so the produced
+        statistics stay bit-identical to the pure-Python loop.
+        """
+        arch = self.arch
+        num_cores = arch.num_cores
+        barrier_latency = arch.barrier_latency
+        lock_latency = arch.lock_latency
+        sync_cb = engine.sync_boundary_hook()
+        fast = engine.scheduler_fast_path()
+        kernel = kernel_cls(
+            trace.ops,
+            trace.addresses,
+            trace.works,
+            start_clocks,
+            float(arch.l1d.latency),
+            engine.access,
+            AccessResult,
+            fast,
+        )
+        stores = fast["stores"] if fast is not None else ()
+        addr_cols = trace.addresses
+        work_cols = trace.works
+        op_barrier, op_lock = int(Op.BARRIER), int(Op.LOCK)
+        barrier_waiters: dict[int, list[tuple[int, float]]] = {}
+        locks: dict[int, _LockState] = {}
+        blocked = 0
+        run = kernel.run
+        wake = kernel.wake
+        continue_at = kernel.continue_at
+        try:
+            note = kernel.note
+            for core, store in enumerate(stores):
+                store._observer = partial(note, core)
+            while True:
+                exit_ = run()
+                if exit_ is None:
+                    break
+                op, core, now, i, acc = exit_
+                address = addr_cols[core][i]
+                work = work_cols[core][i]
+                if op == op_barrier:
+                    t = now + work
+                    if sync_cb is not None:
+                        sync_cb(core, t)  # a barrier arrival is a release
+                    kernel.advance(core, i + 1, acc + work)
+                    waiters = barrier_waiters.setdefault(address, [])
+                    waiters.append((core, t))
+                    if len(waiters) == num_cores:
+                        release = max(at for _, at in waiters) + barrier_latency
+                        for wcore, at in waiters:
+                            breakdowns[wcore].sync += release - at
+                            wake(wcore, release)
+                        blocked -= len(waiters) - 1
+                        del barrier_waiters[address]
+                    else:
+                        blocked += 1
+                elif op == op_lock:
+                    t = now + work
+                    acc += work
+                    state = locks.setdefault(address, _LockState())
+                    if state.held_by < 0:
+                        state.held_by = core
+                        breakdowns[core].sync += lock_latency
+                        t += lock_latency
+                        continue_at(core, i + 1, acc, t)
+                    else:
+                        kernel.advance(core, i + 1, acc)
+                        state.queue.append((core, t))
+                        blocked += 1
+                else:  # Op.UNLOCK
+                    t = now + work
+                    acc += work
+                    state = locks.get(address)
+                    if state is None or state.held_by != core:
+                        raise SimulationError(
+                            f"core {core} unlocks lock {address} it does not hold"
+                        )
+                    t += lock_latency
+                    breakdowns[core].sync += lock_latency
+                    if sync_cb is not None:
+                        sync_cb(core, t)  # flush before the lock hand-off
+                    if state.queue:
+                        wcore, arrival = state.queue.popleft()
+                        state.held_by = wcore
+                        breakdowns[wcore].sync += t - arrival
+                        blocked -= 1
+                        if not wake(wcore, t) and state.queue:
+                            raise SimulationError(
+                                f"core {wcore} acquired lock {address} at end of "
+                                "trace while others wait"
+                            )
+                    else:
+                        state.held_by = -1
+                    continue_at(core, i + 1, acc, t)
+            if blocked:
+                raise SimulationError(
+                    f"deadlock: {blocked} cores still blocked at end of trace "
+                    f"(barriers awaiting: {sorted(barrier_waiters)})"
+                )
+            clocks = kernel.clocks()
+            if sync_cb is not None:
+                for core in range(num_cores):
+                    sync_cb(core, clocks[core])
+            hits_r, hits_w, rows = kernel.finish()
+            for core in range(num_cores):
+                bd = breakdowns[core]
+                compute, l1_to_l2, l2_waiting, l2_sharers, l2_offchip = rows[core]
+                bd.compute += compute
+                bd.l1_to_l2 += l1_to_l2
+                bd.l2_waiting += l2_waiting
+                bd.l2_sharers += l2_sharers
+                bd.l2_offchip += l2_offchip
+            reads = 0
+            writes = 0
+            if fast is not None:
+                l1s = fast["l1s"]
+                for core in range(num_cores):
+                    r, w = hits_r[core], hits_w[core]
+                    l1s[core].hits += r + w
+                    reads += r
+                    writes += w
+                engine.miss_stats.hits += reads + writes
+                engine.energy.l1d_reads += reads
+                engine.energy.l1d_writes += writes
+            self._fast_read_hits = reads
+            self._fast_write_hits = writes
+            return clocks
+        finally:
+            for store in stores:
+                store._observer = None
 
     # ------------------------------------------------------------------
     def _collect(

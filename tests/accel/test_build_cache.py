@@ -1,18 +1,22 @@
-"""Build-cache and fallback-selection tests for the mesh accelerator.
+"""Build-cache and fallback-selection tests for the compiled accelerators.
 
 The compile-at-import machinery (``repro.accel.build``) keys its artifact
-cache on source mtime + content hash + compiler id + ABI tag, and every
-failure mode degrades to the pure-Python ring buffer with a single warning
-and *identical* simulation results.  These tests pin:
+cache on the fingerprints of *every* C source (mtime + content hash), the
+compiler id and the ABI tag, and every failure mode degrades to the
+pure-Python implementations with one warning per kernel and *identical*
+simulation results.  These tests pin:
 
 * a fresh cache compiles once and then reuses the artifact,
-* touching the kernel source (mtime) forces a recompile,
-* ``REPRO_NO_ACCEL=1`` forces the fallback without touching the cache,
-* a missing compiler falls back with one warning and bit-identical
-  ``RunStats``.
+* touching any kernel source (mtime) forces a recompile - including the
+  second translation unit (``_sched.c``), which a single-source
+  fingerprint would miss,
+* ``REPRO_NO_ACCEL=1`` forces both fallbacks, and the per-kernel
+  ``REPRO_NO_ACCEL_MESH``/``REPRO_NO_ACCEL_SCHED`` force exactly one,
+* a missing compiler falls back with one warning per kernel and
+  bit-identical ``RunStats``.
 
 All tests point ``REPRO_ACCEL_CACHE`` at a tmp dir and copy the kernel
-source, so the user-level cache and the repo tree are never mutated.
+sources, so the user-level cache and the repo tree are never mutated.
 """
 
 from __future__ import annotations
@@ -42,57 +46,80 @@ def isolated_cache(tmp_path, monkeypatch):
     (before AND after, so the rest of the suite re-selects normally)."""
     monkeypatch.setenv(build.CACHE_ENV, str(tmp_path / "cache"))
     monkeypatch.delenv(build.NO_ACCEL_ENV, raising=False)
+    monkeypatch.delenv(accel.NO_ACCEL_MESH_ENV, raising=False)
+    monkeypatch.delenv(accel.NO_ACCEL_SCHED_ENV, raising=False)
     accel.reset()
     yield tmp_path
     accel.reset()
 
 
 @pytest.fixture
-def kernel_copy(tmp_path):
-    """A private copy of ``_kernel.c`` whose mtime tests may touch."""
-    source = tmp_path / "_kernel.c"
-    shutil.copy(build.SOURCE, source)
-    return source
+def sources_copy(tmp_path):
+    """Private copies of every kernel source whose mtimes tests may touch."""
+    copies = []
+    for source in build.kernel_sources():
+        target = tmp_path / source.name
+        shutil.copy(source, target)
+        copies.append(target)
+    assert len(copies) >= 2, "expected both _kernel.c and _sched.c"
+    return copies
 
 
 class TestBuildCache:
-    def test_fresh_cache_compiles_then_reuses(self, kernel_copy):
-        artifact, info = build.build_artifact(kernel_copy)
+    def test_fresh_cache_compiles_then_reuses(self, sources_copy):
+        artifact, info = build.build_artifact(sources_copy)
         assert artifact is not None and artifact.exists(), info["reason"]
         assert info["rebuilt"] is True
-        # The metadata sidecar records full provenance.
-        meta = json.loads(build.artifact_paths(kernel_copy)[1].read_text())
+        # The metadata sidecar records full provenance, one fingerprint
+        # per source file.
+        meta = json.loads(build.artifact_paths()[1].read_text())
         assert meta["compiler_id"] == info["compiler"]
+        assert set(meta["sources"]) == {s.name for s in sources_copy}
         stamp = artifact.stat().st_mtime_ns
 
-        again, info2 = build.build_artifact(kernel_copy)
+        again, info2 = build.build_artifact(sources_copy)
         assert again == artifact
         assert info2["rebuilt"] is False
         assert artifact.stat().st_mtime_ns == stamp, "stale artifact was rebuilt"
 
-    def test_touched_source_forces_recompile(self, kernel_copy):
-        artifact, _ = build.build_artifact(kernel_copy)
+    def test_touched_source_forces_recompile(self, sources_copy):
+        artifact, _ = build.build_artifact(sources_copy)
         assert artifact is not None
-        # Advance the source mtime past the artifact's.
+        # Advance the first source's mtime past the artifact's.
         future = artifact.stat().st_mtime + 60.0
-        os.utime(kernel_copy, (future, future))
-        _, info = build.build_artifact(kernel_copy)
+        os.utime(sources_copy[0], (future, future))
+        _, info = build.build_artifact(sources_copy)
         assert info["rebuilt"] is True
 
-    def test_compiler_swap_forces_recompile(self, kernel_copy, monkeypatch):
-        artifact, _ = build.build_artifact(kernel_copy)
+    def test_second_source_edit_forces_recompile(self, sources_copy):
+        """Editing ``_sched.c`` (content, mtime preserved) must rebuild:
+        the sidecar fingerprints every input, not just the first."""
+        artifact, _ = build.build_artifact(sources_copy)
+        assert artifact is not None
+        sched = next(s for s in sources_copy if s.name == "_sched.c")
+        stat = sched.stat()
+        sched.write_text(
+            sched.read_text() + "\n/* edited second translation unit */\n"
+        )
+        os.utime(sched, (stat.st_atime, stat.st_mtime))  # mtime-preserving
+        _, info = build.build_artifact(sources_copy)
+        assert info["rebuilt"] is True
+
+    def test_compiler_swap_forces_recompile(self, sources_copy, monkeypatch):
+        artifact, _ = build.build_artifact(sources_copy)
         assert artifact is not None
         monkeypatch.setattr(
             build, "compiler_id", lambda cc: f"{cc} (different banner)"
         )
-        _, info = build.build_artifact(kernel_copy)
+        _, info = build.build_artifact(sources_copy)
         assert info["rebuilt"] is True
 
-    def test_rebuilt_artifact_still_loads(self, kernel_copy):
-        artifact, info = build.build_artifact(kernel_copy)
+    def test_rebuilt_artifact_still_loads(self, sources_copy):
+        artifact, info = build.build_artifact(sources_copy)
         assert artifact is not None, info["reason"]
         module = build.load_module(artifact)
         assert hasattr(module, "MeshKernel")
+        assert hasattr(module, "SchedKernel")
 
 
 class TestSelection:
@@ -100,17 +127,34 @@ class TestSelection:
 
     def test_no_accel_env_forces_fallback(self, monkeypatch):
         assert accel.mesh_kernel_class() is not None  # compiles into tmp cache
+        assert accel.sched_kernel_class() is not None
         monkeypatch.setenv(build.NO_ACCEL_ENV, "1")
         assert accel.mesh_kernel_class() is None
+        assert accel.sched_kernel_class() is None
         net = MeshNetwork(self.ARCH)
         assert net.implementation == "fallback"
         status = accel.status()
         assert status["implementation"] == "fallback"
         assert status["disabled_by_env"] is True
         assert build.NO_ACCEL_ENV in status["reason"]
+        assert status["kernels"]["sched"]["implementation"] == "fallback"
+        assert build.NO_ACCEL_ENV in status["kernels"]["sched"]["reason"]
         # The env var is re-read per construction: unset -> accel again.
         monkeypatch.delenv(build.NO_ACCEL_ENV)
         assert MeshNetwork(self.ARCH).implementation == "accel"
+
+    def test_per_kernel_env_forces_one_fallback(self, monkeypatch):
+        monkeypatch.setenv(accel.NO_ACCEL_SCHED_ENV, "1")
+        assert accel.mesh_kernel_class() is not None
+        assert accel.sched_kernel_class() is None
+        status = accel.status()
+        assert status["kernels"]["mesh"]["implementation"] == "accel"
+        assert status["kernels"]["sched"]["implementation"] == "fallback"
+        assert accel.NO_ACCEL_SCHED_ENV in status["kernels"]["sched"]["reason"]
+        monkeypatch.delenv(accel.NO_ACCEL_SCHED_ENV)
+        monkeypatch.setenv(accel.NO_ACCEL_MESH_ENV, "1")
+        assert accel.mesh_kernel_class() is None
+        assert accel.sched_kernel_class() is not None
 
     def test_missing_compiler_falls_back_with_single_warning(
         self, monkeypatch, caplog
@@ -119,27 +163,33 @@ class TestSelection:
         with caplog.at_level(logging.WARNING, logger="repro.accel"):
             assert accel.mesh_kernel_class() is None
             assert accel.mesh_kernel_class() is None  # second probe: no re-log
+            assert accel.sched_kernel_class() is None
+            assert accel.sched_kernel_class() is None
         warnings = [
             r for r in caplog.records if "accelerator unavailable" in r.message
         ]
-        assert len(warnings) == 1
-        assert "no C compiler" in warnings[0].getMessage()
+        # One warning per kernel, not per probe.
+        assert len(warnings) == 2
+        assert all("no C compiler" in w.getMessage() for w in warnings)
         status = accel.status()
         assert status["implementation"] == "fallback"
         assert status["compiled"] is False
         assert "no C compiler" in status["reason"]
+        assert status["kernels"]["sched"]["compiled"] is False
 
     def test_missing_compiler_runstats_identical(self, monkeypatch):
         """The fallback is not a degraded mode: a compiler-less host
-        produces bit-identical RunStats to the compiled kernel."""
+        produces bit-identical RunStats to the compiled kernels."""
         trace = load_workload("tsp", self.ARCH, scale="tiny")
         with_kernel = Simulator(self.ARCH, baseline_protocol(), warmup=True).run(
             trace
         )
         assert accel.active_impl() == "accel"
+        assert accel.kernel_impl("sched") == "accel"
 
         accel.reset()
         monkeypatch.setattr(build, "find_compiler", lambda: None)
         without = Simulator(self.ARCH, baseline_protocol(), warmup=True).run(trace)
         assert accel.active_impl() == "fallback"
+        assert accel.kernel_impl("sched") == "fallback"
         assert with_kernel.to_dict() == without.to_dict()

@@ -41,10 +41,11 @@ class TestMatrixHygiene:
             assert backend in CHAOS_BACKENDS
 
     def test_default_matrix_covers_the_ci_fault_set(self):
-        # The chaos-smoke CI job leans on these five being in the default
+        # The chaos-smoke CI job leans on these being in the default
         # matrix; removing one silently shrinks coverage.
         faults = {fault for fault, _backend in DEFAULT_MATRIX}
-        assert {"crash", "hang", "frame-drop", "torn-write", "build-fail"} <= faults
+        assert {"crash", "hang", "frame-drop", "torn-write", "build-fail",
+                "mesh-fallback", "sched-fallback"} <= faults
 
     def test_chaos_jobs_are_small_and_deterministic(self):
         jobs = chaos_jobs()

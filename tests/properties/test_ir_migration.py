@@ -28,6 +28,26 @@ from repro.workloads.registry import load_workload
 
 FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures" / "runstats_pr3.json"
 
+#: The four accelerator combinations (mesh x sched, each on/off).  The
+#: fixtures were generated pre-accelerator, so every combo must reproduce
+#: them bit-identically; on hosts without a C compiler all four collapse
+#: to the pure-Python fallback and still must pass.
+KERNEL_COMBOS = {
+    "mesh+sched": (),
+    "sched-only": ("REPRO_NO_ACCEL_MESH",),
+    "mesh-only": ("REPRO_NO_ACCEL_SCHED",),
+    "fallback": ("REPRO_NO_ACCEL_MESH", "REPRO_NO_ACCEL_SCHED"),
+}
+
+
+@pytest.fixture(params=sorted(KERNEL_COMBOS), ids=sorted(KERNEL_COMBOS))
+def kernel_combo(request, monkeypatch):
+    for env in ("REPRO_NO_ACCEL_MESH", "REPRO_NO_ACCEL_SCHED"):
+        monkeypatch.delenv(env, raising=False)
+    for env in KERNEL_COMBOS[request.param]:
+        monkeypatch.setenv(env, "1")
+    return request.param
+
 
 @pytest.fixture(scope="module")
 def fixture_data():
@@ -79,8 +99,11 @@ class TestTraceSummariesMatchSeedRevision:
 
 
 class TestRunStatsMatchSeedRevision:
-    def test_all_families_bit_identical(self, fixture_data, fixture_traces):
-        """Every fixture entry: columnar RunStats == pre-refactor RunStats."""
+    def test_all_families_bit_identical(
+        self, fixture_data, fixture_traces, kernel_combo
+    ):
+        """Every fixture entry: columnar RunStats == pre-refactor RunStats,
+        under every accelerator combination."""
         arch, traces = fixture_traces
         for entry in fixture_data["entries"]:
             trace = traces[(entry["workload"], entry["scale"])]
@@ -168,7 +191,7 @@ class TestSchedulerFastPathEquivalence:
     RunStats.
     """
 
-    def test_fast_path_on_equals_off(self, monkeypatch):
+    def test_fast_path_on_equals_off(self, monkeypatch, kernel_combo):
         from repro.protocol.base import ProtocolEngineBase
         from repro.protocol.directory import DirectoryEngine
 

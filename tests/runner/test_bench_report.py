@@ -59,17 +59,26 @@ class TestReportStamp:
         )
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["implementation"] in ("accel", "fallback")
-        assert set(payload["accel"]) == {"compiled", "compiler", "reason"}
-        assert "mesh implementation:" in capsys.readouterr().out
+        assert set(payload["implementations"]) == {"mesh", "sched"}
+        assert all(
+            impl in ("accel", "fallback")
+            for impl in payload["implementations"].values()
+        )
+        assert set(payload["accel"]) == {"compiled", "compiler", "reason", "kernels"}
+        assert set(payload["accel"]["kernels"]) == {"mesh", "sched"}
+        stdout = capsys.readouterr().out
+        assert "mesh implementation:" in stdout
+        assert "sched implementation:" in stdout
 
 
 class TestAccelInfo:
-    def test_text_output_names_implementation(self, capsys):
+    def test_text_output_names_both_kernels(self, capsys):
         assert cli_main(["accel-info"]) == 0
         out = capsys.readouterr().out
-        assert "implementation:" in out
+        assert "mesh:" in out
+        assert "sched:" in out
         assert "cache dir:" in out
 
     def test_json_output_is_the_status_payload(self, capsys):
@@ -77,12 +86,32 @@ class TestAccelInfo:
         payload = json.loads(capsys.readouterr().out)
         assert payload["implementation"] in ("accel", "fallback")
         assert {"compiled", "cache_dir", "reason", "source"} <= set(payload)
+        assert set(payload["kernels"]) == {"mesh", "sched"}
 
     def test_require_compiled_fails_under_no_accel(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_NO_ACCEL", "1")
         assert cli_main(["accel-info", "--require-compiled"]) == 1
         err = capsys.readouterr().err
+        # The bare flag requires both kernels, so both are reported.
         assert "compiled mesh kernel required" in err
+        assert "compiled sched kernel required" in err
+
+    def test_require_compiled_named_kernel(self, monkeypatch, capsys):
+        # Only the sched kernel is disabled: requiring mesh alone passes
+        # (when a compiler exists), requiring sched fails.
+        from repro.accel import build
+
+        if build.find_compiler() is None:
+            pytest.skip("no C compiler on this host")
+        monkeypatch.setenv("REPRO_NO_ACCEL_SCHED", "1")
+        assert cli_main(["accel-info", "--require-compiled", "mesh"]) == 0
+        capsys.readouterr()
+        assert cli_main(["accel-info", "--require-compiled", "sched"]) == 1
+        assert "compiled sched kernel required" in capsys.readouterr().err
+
+    def test_require_compiled_unknown_kernel_rejected(self, capsys):
+        assert cli_main(["accel-info", "--require-compiled", "gpu"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
 
 
 class TestBaselineDiff:
@@ -124,7 +153,7 @@ class TestBaselineDiff:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "baseline implementation: fallback" in out
+        assert "baseline implementation: mesh=fallback" in out
         assert "fresh sim rec/s" in out
 
     def test_cli_bad_baseline_fails_before_benching(self, tmp_path, capsys):

@@ -109,8 +109,9 @@ class TestBenchTrend:
 
 
 class TestImplementationGuard:
-    """Schema-3 reports stamp the mesh implementation; trend refuses to
-    compare accel against fallback (the diff would measure the kernel)."""
+    """Bench reports stamp kernel implementations (schema 3: mesh only;
+    schema 4: mesh AND sched); trend refuses to compare accel against
+    fallback on any shared kernel (the diff would measure the kernel)."""
 
     def stamped(self, simulate: int, impl: str) -> dict:
         report = bench_report(simulate)
@@ -119,12 +120,36 @@ class TestImplementationGuard:
         report["accel"] = {"compiled": impl == "accel", "compiler": None, "reason": None}
         return report
 
+    def stamped4(self, simulate: int, mesh: str, sched: str) -> dict:
+        report = self.stamped(simulate, mesh)
+        report["schema"] = 4
+        report["implementations"] = {"mesh": mesh, "sched": sched}
+        return report
+
     def test_mismatched_implementations_rejected(self, tmp_path):
         old, new = tmp_path / "old.json", tmp_path / "new.json"
         write_json(old, self.stamped(100_000, "accel"))
         write_json(new, self.stamped(100_000, "fallback"))
-        with pytest.raises(ReproError, match="different mesh implementations"):
+        with pytest.raises(ReproError, match="different kernel implementations"):
             run_trend(str(old), str(new), assert_within=0.30)
+
+    def test_sched_mismatch_rejected(self, tmp_path):
+        # Same mesh stamp on both sides: only the sched provenance differs,
+        # and the schema-4 guard must still catch it.
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped4(100_000, "accel", "accel"))
+        write_json(new, self.stamped4(100_000, "accel", "fallback"))
+        with pytest.raises(ReproError, match="sched: 'accel' vs 'fallback'"):
+            run_trend(str(old), str(new), assert_within=0.30)
+
+    def test_schema3_vs_schema4_compares_shared_kernels_only(self, tmp_path):
+        # A schema-3 report says nothing about sched: only the mesh stamps
+        # are comparable, and they agree here.
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        write_json(old, self.stamped(100_000, "accel"))
+        write_json(new, self.stamped4(100_000, "accel", "fallback"))
+        _rows, code = run_trend(str(old), str(new), assert_within=0.30)
+        assert code == 0
 
     def test_allow_impl_mismatch_overrides(self, tmp_path):
         old, new = tmp_path / "old.json", tmp_path / "new.json"
@@ -155,7 +180,7 @@ class TestImplementationGuard:
         write_json(old, self.stamped(100_000, "accel"))
         write_json(new, self.stamped(100_000, "fallback"))
         assert cli_main(["trend", str(old), str(new)]) == 1
-        assert "different mesh implementations" in capsys.readouterr().err
+        assert "different kernel implementations" in capsys.readouterr().err
         assert (
             cli_main(["trend", str(old), str(new), "--allow-impl-mismatch"]) == 0
         )
